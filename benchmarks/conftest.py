@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and prints the rows/series the paper reports (run with ``-s`` to see them).
+Absolute numbers come from the simulated substrate, so only the *shape*
+(ordering, rough ratios, crossovers) is expected to match the paper; each
+module's docstring states the expected shape.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def print_table(title: str, rows: list[dict]) -> None:
+    """Pretty-print a list of dict rows as an aligned table."""
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    keys: list = []
+    for row in rows:
+        for k in row:
+            if k not in keys:
+                keys.append(k)
+    widths = {
+        k: max(len(str(k)), max(len(_fmt(r.get(k, ""))) for r in rows)) for k in keys
+    }
+    print(f"\n== {title} ==")
+    print(" | ".join(str(k).ljust(widths[k]) for k in keys))
+    print("-+-".join("-" * widths[k] for k in keys))
+    for r in rows:
+        print(" | ".join(_fmt(r.get(k, "")).ljust(widths[k]) for k in keys))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

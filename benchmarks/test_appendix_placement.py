@@ -1,0 +1,51 @@
+"""Appendix C.1 — EP-first vs DP-first placement on a hierarchical network.
+
+Paper shape: for small MoEs the EP all-to-all dominates so locality-aware
+EP-first placement is competitive, but for large MoEs the DP gradient
+synchronization volume dominates and DP-first placement (replicas of the
+same expert co-located within a node) wins on Frontier's 25 GB/s inter-node
+links.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.cluster import Topology
+from repro.config import ParallelConfig, PlacementOrder, frontier_system, paper_config
+from repro.xmoe import plan_placement
+
+
+def run_placement_analysis():
+    topo = Topology(frontier_system(num_nodes=8), 64)
+    results = {}
+    for name in ("small", "large"):
+        model = paper_config(name)
+        parallel = ParallelConfig(world_size=64, ep_size=8, global_batch_size=64)
+        results[name] = plan_placement(model, parallel, topo)
+    return results
+
+
+def test_appendix_c1_placement(benchmark):
+    results = benchmark(run_placement_analysis)
+    rows = []
+    for name, (ep_first, dp_first, recommended) in results.items():
+        rows.append(
+            {
+                "model": name,
+                "EP-first a2a (s)": ep_first.ep_alltoall_seconds,
+                "EP-first allreduce (s)": ep_first.dp_allreduce_seconds,
+                "DP-first a2a (s)": dp_first.ep_alltoall_seconds,
+                "DP-first allreduce (s)": dp_first.dp_allreduce_seconds,
+                "recommended": recommended.value,
+            }
+        )
+    print_table("Appendix C.1 — placement trade-off (64 GPUs, EP=8)", rows)
+
+    for name, (ep_first, dp_first, _) in results.items():
+        # The structural trade-off: EP-first has cheaper all-to-all,
+        # DP-first has cheaper gradient synchronization.
+        assert ep_first.ep_alltoall_seconds <= dp_first.ep_alltoall_seconds
+        assert dp_first.dp_allreduce_seconds <= ep_first.dp_allreduce_seconds
+    # For the large MoE the gradient volume dominates: DP-first wins.
+    assert results["large"][2] == PlacementOrder.DP_FIRST

@@ -1,0 +1,61 @@
+"""Fig. 13 — maximum per-device memory with and without SSMB, TP in {1, 2, 4}.
+
+Paper shape: enabling SSMB lowers memory at every TP degree > 1 and the gap
+widens as TP grows (sequence sharding removes the duplicated
+A_dispatch/A_combine copies that TP alone cannot reduce).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.config import ParallelConfig, ZeroStage, paper_config
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+
+def memory_by_tp():
+    model = paper_config("large")
+    out = {}
+    for tp in (1, 2, 4):
+        base = ParallelConfig(
+            world_size=256,
+            ep_size=64,
+            tp_size=tp,
+            zero_stage=ZeroStage.OPTIMIZER,
+            micro_batch_size=1,
+            global_batch_size=1024,
+        )
+        with_ssmb = MoEMemoryModel(model, base.with_overrides(use_ssmb=True)).report(
+            SystemKind.XMOE
+        )
+        without = MoEMemoryModel(model, base.with_overrides(use_ssmb=False)).report(
+            SystemKind.XMOE
+        )
+        out[tp] = (with_ssmb.total_gb, without.total_gb)
+    return out
+
+
+def test_fig13_ssmb_memory_saving(benchmark):
+    results = benchmark(memory_by_tp)
+    rows = [
+        {
+            "TP": tp,
+            "X-MoE w/ SSMB (GB)": with_ssmb,
+            "X-MoE w/o SSMB (GB)": without,
+            "saving (GB)": without - with_ssmb,
+        }
+        for tp, (with_ssmb, without) in results.items()
+    ]
+    print_table("Fig. 13 — max allocated memory w/ and w/o SSMB", rows)
+
+    # TP=1: SSMB is a no-op.
+    assert results[1][0] == pytest.approx(results[1][1])
+    # TP>1: SSMB saves memory and the saving grows with the TP degree.
+    savings = []
+    for tp in (2, 4):
+        with_ssmb, without = results[tp]
+        assert with_ssmb < without
+        savings.append(without - with_ssmb)
+    assert savings[1] > savings[0]
+    # Memory with SSMB decreases as TP grows.
+    assert results[4][0] < results[2][0] < results[1][0]

@@ -1,0 +1,53 @@
+"""Fig. 17 (Appendix C.2) — SSMB vs TED advantage regions.
+
+Paper shape: on the (H_FFN, top-k) plane with borders drawn for sequence
+lengths 2048/4096/8192, the DeepSeek family lies in SSMB's advantage zone,
+the Mixtral family in TED's, and Arctic flips from TED to SSMB as the
+sequence length grows.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis import KNOWN_MOE_MODELS, advantage_border_topk, tradeoff_table
+
+
+def run_tradeoff():
+    return tradeoff_table(seq_lengths=(2048, 4096, 8192), capacity_factor=1.0)
+
+
+def test_fig17_advantage_regions(benchmark):
+    table = benchmark(run_tradeoff)
+    rows = []
+    for name, verdicts in table.items():
+        point = KNOWN_MOE_MODELS[name]
+        rows.append(
+            {
+                "model": name,
+                "H_FFN": point.ffn_hidden_size,
+                "top_k": point.top_k,
+                "S=2048": "SSMB" if verdicts[2048] else "TED",
+                "S=4096": "SSMB" if verdicts[4096] else "TED",
+                "S=8192": "SSMB" if verdicts[8192] else "TED",
+            }
+        )
+    print_table("Fig. 17 — SSMB vs TED advantage zones", rows)
+    borders = [
+        {"S": s, "border_topk_at_HFFN=2048": advantage_border_topk(2048, s)}
+        for s in (2048, 4096, 8192)
+    ]
+    print_table("Fig. 17 — advantage border (top-k at H_FFN=2048)", borders)
+
+    for s in (2048, 4096, 8192):
+        assert table["deepseek-moe"][s] and table["deepseek-v3"][s]
+        assert not table["mixtral-8x7b"][s] and not table["mixtral-8x22b"][s]
+    # Arctic flips with sequence length.
+    assert not table["arctic"][2048]
+    assert table["arctic"][8192]
+    # Longer sequences push the border down (SSMB zone grows).
+    assert (
+        advantage_border_topk(2048, 8192)
+        < advantage_border_topk(2048, 4096)
+        < advantage_border_topk(2048, 2048)
+    )

@@ -1,0 +1,53 @@
+"""Figs. 18-19 (Appendix D) — all-to-all latency characterization vs scale.
+
+Paper shape: mean all-to-all latency grows from 8 to 32 GPUs, stays
+relatively stable from 32 to 256 GPUs (one rack), and rises sharply beyond
+256 GPUs where cross-rack Dragonfly traffic suffers congestion; at 512 and
+1024 GPUs a visible fraction of runs are outliers far above the median.
+This motivates the paper's choice to cap EP size at 256.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+from repro.analysis import characterize_alltoall_latency, mean_latency_by_scale
+
+GPU_COUNTS = (8, 32, 64, 128, 256, 512, 1024)
+
+
+def run_characterization():
+    return characterize_alltoall_latency(
+        gpu_counts=GPU_COUNTS, num_runs=200, payload_mb_per_rank=64.0, seed=0
+    )
+
+
+def test_fig18_19_alltoall_latency(benchmark):
+    samples = benchmark.pedantic(run_characterization, rounds=1, iterations=1)
+    by_count = {s.num_gpus: s for s in samples}
+    rows = [
+        {
+            "GPUs": s.num_gpus,
+            "mean_ms": s.mean_ms,
+            "p99_ms": s.p99_ms,
+            "outliers_>3x_median_%": 100
+            * float((s.latencies_ms > 3 * np.median(s.latencies_ms)).mean()),
+        }
+        for s in samples
+    ]
+    print_table("Figs. 18-19 — all-to-all latency vs GPU count", rows)
+
+    means = mean_latency_by_scale(samples)
+    # Latency grows from the smallest scales...
+    assert means[32] >= means[8]
+    # ...is relatively stable within a rack (32 -> 256 within ~2.5x)...
+    assert means[256] < 2.5 * means[32]
+    # ...and rises sharply beyond one rack.
+    assert means[512] > 1.5 * means[256]
+    assert means[1024] >= means[512] * 0.9
+    # Outliers appear only beyond one rack.
+    threshold = 3 * by_count[256].mean_ms
+    assert by_count[512].outlier_fraction(threshold) > 0.0
+    assert by_count[1024].outlier_fraction(threshold) > 0.0
+    assert by_count[128].outlier_fraction(threshold) == pytest.approx(0.0)

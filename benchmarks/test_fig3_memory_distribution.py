@@ -1,0 +1,70 @@
+"""Fig. 3 — per-MoE-layer memory distribution of M_conv vs M_spec.
+
+Paper shape: for the size-equivalent pair built from a 6.7B base model
+(e=16, m=8) on 256 GPUs, the conventional MoE's per-layer footprint is
+dominated by model states, while the expert-specialized MoE's footprint is
+dominated by the A_dispatch / A_combine activations (the memory bottleneck
+shifts from parameters to activations).
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.config import ParallelConfig, make_equivalent_pair
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+
+def build_pair():
+    # A 6.7B-style base: H=4096, H_FFN=16384, 16 base experts, m=8.
+    return make_equivalent_pair(
+        base_hidden=4096,
+        base_ffn_hidden=16384,
+        num_base_experts=16,
+        fine_grained_factor=8,
+        seq_length=2048,
+        num_layers=1,
+    )
+
+
+def layer_memory_rows():
+    pair = build_pair()
+    parallel = ParallelConfig(
+        world_size=256, ep_size=128, micro_batch_size=1, global_batch_size=1024
+    )
+    rows = []
+    for label, model in (("M_conv", pair.conventional), ("M_spec", pair.specialized)):
+        cfg = model.scaled(num_experts=128) if model.num_experts != 128 else model
+        mm = MoEMemoryModel(cfg, parallel)
+        act = mm.moe_layer_activations(SystemKind.XMOE)
+        states_gb = (
+            cfg.moe_layer_expert_params() / parallel.ep_size * 16 / 2**30
+        )
+        rows.append(
+            {
+                "model": label,
+                "model_states_GB": states_gb,
+                "A_dispatch_GB": act.a_dispatch / 2**30,
+                "A_combine_GB": act.a_combine / 2**30,
+                "A_interm0_GB": act.a_interm0 / 2**30,
+                "A_interm1_GB": act.a_interm1 / 2**30,
+            }
+        )
+    return rows
+
+
+def test_fig3_bottleneck_shift(benchmark):
+    rows = benchmark(layer_memory_rows)
+    print_table("Fig. 3 — MoE layer memory distribution (per device)", rows)
+    conv, spec = rows
+    # In M_spec the dispatch/combine activations dominate the activations...
+    spec_act = sum(v for k, v in spec.items() if k.startswith("A_"))
+    conv_act = sum(v for k, v in conv.items() if k.startswith("A_"))
+    assert spec["A_dispatch_GB"] + spec["A_combine_GB"] > 0.5 * spec_act
+    # ...and grow ~m-fold relative to M_conv while the intermediates do not.
+    assert spec["A_dispatch_GB"] == pytest.approx(8 * conv["A_dispatch_GB"], rel=0.05)
+    assert spec["A_interm0_GB"] == pytest.approx(conv["A_interm0_GB"], rel=0.05)
+    # The activation share of the total footprint rises sharply in M_spec.
+    assert spec_act / (spec_act + spec["model_states_GB"]) > conv_act / (
+        conv_act + conv["model_states_GB"]
+    )

@@ -1,0 +1,42 @@
+"""Fig. 4 — dispatch redundancy rate vs EP size.
+
+Paper shape (256 experts, top-8, Frontier nodes of 8 GCDs): the redundant
+share of dispatched tokens is 75.1% at EP=16 and falls monotonically to
+9.2% at EP=256.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis import redundancy_by_ep_size, sample_redundancy_rate
+
+PAPER_SERIES = {16: 0.751, 32: 0.548, 64: 0.338, 128: 0.185, 256: 0.092}
+
+
+def analytic_and_sampled():
+    analytic = redundancy_by_ep_size()
+    sampled = {
+        ep: sample_redundancy_rate(256, 8, ep, num_tokens=2048, seed=0)
+        for ep in analytic
+    }
+    return analytic, sampled
+
+
+def test_fig4_redundancy_by_ep_size(benchmark):
+    analytic, sampled = benchmark(analytic_and_sampled)
+    rows = [
+        {
+            "EP size": ep,
+            "paper_redundant_%": 100 * PAPER_SERIES[ep],
+            "analytic_%": 100 * analytic[ep],
+            "sampled_%": 100 * sampled[ep],
+        }
+        for ep in sorted(analytic)
+    ]
+    print_table("Fig. 4 — redundancy rate of dispatched tokens", rows)
+    for ep, paper_value in PAPER_SERIES.items():
+        assert analytic[ep] == pytest.approx(paper_value, abs=0.03)
+        assert sampled[ep] == pytest.approx(paper_value, abs=0.05)
+    values = [analytic[ep] for ep in sorted(analytic)]
+    assert all(a > b for a, b in zip(values, values[1:]))

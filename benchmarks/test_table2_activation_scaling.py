@@ -1,0 +1,59 @@
+"""Tables 1-2 (analytic) — size-equivalent M_conv vs M_spec scaling laws.
+
+Paper shape: for size-equivalent models, total and activated parameters are
+identical, while A_dispatch and A_combine grow linearly with the
+fine-grained factor m and the expert-FFN intermediates stay constant.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.config import ParallelConfig, make_equivalent_pair
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+
+def run_scaling(ms=(1, 2, 4, 8)):
+    rows = []
+    parallel = ParallelConfig(world_size=64, ep_size=16, global_batch_size=64)
+    for m in ms:
+        pair = make_equivalent_pair(
+            base_hidden=2048,
+            base_ffn_hidden=8192,
+            num_base_experts=16,
+            fine_grained_factor=m,
+            seq_length=2048,
+            num_layers=1,
+        )
+        model = pair.specialized
+        act = MoEMemoryModel(model, parallel).moe_layer_activations(SystemKind.THEORETICAL)
+        rows.append(
+            {
+                "m": m,
+                "experts": model.num_experts,
+                "top_k": model.top_k,
+                "total_params_B": model.total_params() / 1e9,
+                "activated_params_B": model.activated_params() / 1e9,
+                "A_dispatch_MB": act.a_dispatch / 2**20,
+                "A_interm_MB": act.a_interm0 / 2**20,
+            }
+        )
+    return rows
+
+
+def test_table2_activation_scaling(benchmark):
+    rows = benchmark(run_scaling)
+    print_table("Tables 1-2 — size-equivalent scaling with fine-grained factor m", rows)
+
+    base = rows[0]
+    for row in rows[1:]:
+        # Size-equivalence: totals and activated counts are constant in m.
+        assert row["total_params_B"] == pytest.approx(base["total_params_B"], rel=0.01)
+        assert row["activated_params_B"] == pytest.approx(
+            base["activated_params_B"], rel=0.01
+        )
+        # A_dispatch grows linearly with m, the intermediates do not.
+        assert row["A_dispatch_MB"] == pytest.approx(
+            base["A_dispatch_MB"] * row["m"], rel=0.01
+        )
+        assert row["A_interm_MB"] == pytest.approx(base["A_interm_MB"], rel=0.01)

@@ -1,0 +1,54 @@
+"""Table 4 — per-MoE-layer activation memory (Large model, 256 GPUs, EP=64).
+
+Paper values: DeepSpeed-MoE 2.81 GB, Tutel 1.95 GB, X-MoE 1.21 GB,
+theoretical minimum 1.125 GB.  Expected shape: the same strict ordering,
+with X-MoE within ~10% of the theoretical minimum and Tutel inflated by its
+capacity padding plus the float32 combine buffer.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.config import ParallelConfig, paper_config
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+PAPER_GB = {
+    SystemKind.DEEPSPEED_MOE: 2.81,
+    SystemKind.TUTEL: 1.95,
+    SystemKind.XMOE: 1.21,
+    SystemKind.THEORETICAL: 1.125,
+}
+
+
+def activation_table():
+    model = paper_config("large")
+    parallel = ParallelConfig(
+        world_size=256, ep_size=64, micro_batch_size=1, global_batch_size=1024
+    )
+    mm = MoEMemoryModel(model, parallel)
+    return {kind: mm.moe_layer_activations(kind) for kind in PAPER_GB}
+
+
+def test_table4_activation_memory(benchmark):
+    breakdowns = benchmark(activation_table)
+    rows = []
+    for kind, breakdown in breakdowns.items():
+        row = {"system": kind.value, "paper_GB": PAPER_GB[kind], "measured_GB": breakdown.total() / 2**30}
+        row.update({k: v / 2**30 for k, v in breakdown.as_dict().items()})
+        rows.append(row)
+    print_table("Table 4 — per-MoE-layer activation memory (GB)", rows)
+
+    measured = {kind: b.total() / 2**30 for kind, b in breakdowns.items()}
+    # Strict ordering as in the paper.
+    assert (
+        measured[SystemKind.DEEPSPEED_MOE]
+        > measured[SystemKind.TUTEL]
+        > measured[SystemKind.XMOE]
+        > measured[SystemKind.THEORETICAL]
+    )
+    # Absolute values land close to the paper for the well-determined rows.
+    assert measured[SystemKind.THEORETICAL] == pytest.approx(1.125, rel=0.02)
+    assert measured[SystemKind.XMOE] == pytest.approx(1.21, rel=0.10)
+    assert measured[SystemKind.TUTEL] == pytest.approx(1.95, rel=0.10)
+    assert measured[SystemKind.DEEPSPEED_MOE] == pytest.approx(2.81, rel=0.30)

@@ -1,0 +1,56 @@
+"""Memory planning: Table 4, Fig. 13, and the SSMB-vs-TED decision rule.
+
+Prints the per-MoE-layer activation memory of each training system for the
+Large (201B) model, the SSMB memory saving as a function of the TP degree,
+and which published MoE architectures prefer SSMB over TED (Fig. 17).
+
+Run:  python examples/memory_planning.py
+"""
+
+from repro.analysis import KNOWN_MOE_MODELS, tradeoff_table
+from repro.config import ParallelConfig, paper_config
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+from repro.xmoe.ssmb import ssmb_activation_saving_bytes, ssmb_beats_ted
+
+
+def main():
+    model = paper_config("large")
+    parallel = ParallelConfig(
+        world_size=256, ep_size=64, micro_batch_size=1, global_batch_size=1024
+    )
+    memory = MoEMemoryModel(model, parallel)
+
+    print("=== Table 4: per-MoE-layer activation memory (Large model, EP=64) ===")
+    for kind in (SystemKind.DEEPSPEED_MOE, SystemKind.TUTEL, SystemKind.XMOE, SystemKind.THEORETICAL):
+        total = memory.moe_layer_activations(kind).total() / 2**30
+        print(f"  {kind.value:<15s}: {total:5.2f} GB")
+
+    print("\n=== Fig. 13: SSMB memory saving vs TP degree ===")
+    for tp in (1, 2, 4):
+        base = parallel.with_overrides(tp_size=tp)
+        with_ssmb = MoEMemoryModel(model, base.with_overrides(use_ssmb=True)).report(SystemKind.XMOE)
+        without = MoEMemoryModel(model, base.with_overrides(use_ssmb=False)).report(SystemKind.XMOE)
+        saving_eq1 = ssmb_activation_saving_bytes(
+            model.seq_length, model.hidden_size, model.top_k, model.capacity_factor, tp
+        )
+        print(
+            f"  TP={tp}: {without.total_gb:6.1f} GB -> {with_ssmb.total_gb:6.1f} GB "
+            f"(Eq. 1 predicted activation saving per layer: {saving_eq1 / 2**30:.2f} GB)"
+        )
+
+    print("\n=== Fig. 17: which published MoEs prefer SSMB over TED? ===")
+    table = tradeoff_table(seq_lengths=(2048, 4096, 8192))
+    header = f"  {'model':<15s}" + "".join(f"  S={s:<6d}" for s in (2048, 4096, 8192))
+    print(header)
+    for name, verdicts in table.items():
+        row = f"  {name:<15s}"
+        for s in (2048, 4096, 8192):
+            row += f"  {'SSMB' if verdicts[s] else 'TED ':<8s}"
+        print(row)
+
+    print("\nDecision rule (paper §4.3): SSMB wins when k / H_FFN > 2 / (c * S).")
+    print(f"For the Large model at S=4096: SSMB advantaged = {ssmb_beats_ted(model)}")
+
+
+if __name__ == "__main__":
+    main()

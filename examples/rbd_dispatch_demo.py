@@ -1,0 +1,94 @@
+"""Redundancy-Bypassing Dispatch demo on the simulated Frontier cluster.
+
+Builds a 16-rank (2-node) expert-parallel group, routes real token buffers
+through the flat uneven all-to-all and through RBD's two-stage dispatch, and
+shows (a) the outputs are bit-identical and (b) RBD moves far fewer bytes
+over the slow inter-node links.
+
+Run:  python examples/rbd_dispatch_demo.py
+"""
+
+import numpy as np
+
+from repro.cluster.topology import LinkTier
+from repro.comm import CommWorld
+from repro.moe import TopKGate
+from repro.tensor import Tensor
+from repro.xmoe import DistributedMoEDispatcher, RBDDispatcher, build_pft
+
+
+NUM_RANKS = 16
+NUM_EXPERTS = 64
+TOP_K = 8
+TOKENS_PER_RANK = 128
+HIDDEN = 64
+
+
+def build_inputs(seed=0):
+    rng = np.random.default_rng(seed)
+    gate = TopKGate(HIDDEN, NUM_EXPERTS, TOP_K, rng=np.random.default_rng(seed + 1))
+    tokens, pfts = [], []
+    for _ in range(NUM_RANKS):
+        toks = rng.normal(size=(TOKENS_PER_RANK, HIDDEN))
+        gate_out = gate(Tensor(toks))
+        pfts.append(build_pft(10**6, gate_out.top_experts, gate_out.top_scores, NUM_EXPERTS))
+        tokens.append(toks)
+    weights = (
+        rng.normal(size=(NUM_EXPERTS, HIDDEN, 32)),
+        rng.normal(size=(NUM_EXPERTS, 32, HIDDEN)),
+    )
+    return tokens, pfts, weights
+
+
+def tier_bytes(world, ops):
+    inter = intra = 0.0
+    for event in world.stats.events:
+        if event.op not in ops:
+            continue
+        for tier, nbytes in event.bytes_by_tier.items():
+            if tier in (LinkTier.INTER_NODE, LinkTier.CROSS_RACK):
+                inter += nbytes
+            elif tier != LinkTier.SELF:
+                intra += nbytes
+    return inter, intra
+
+
+def run(dispatcher_cls, label, tokens, pfts, weights, **kwargs):
+    world = CommWorld(num_ranks=NUM_RANKS)
+    group = world.world_group()
+    dispatcher = dispatcher_cls(group, NUM_EXPERTS, **kwargs)
+    inputs, state = dispatcher.dispatch(tokens, pfts)
+    w1, w2 = weights
+    per_w1 = [w1[dispatcher.experts_on_rank(r)] for r in range(NUM_RANKS)]
+    per_w2 = [w2[dispatcher.experts_on_rank(r)] for r in range(NUM_RANKS)]
+    outputs = dispatcher.run_experts(inputs, state, per_w1, per_w2)
+    combined = dispatcher.combine(outputs, state, [TOKENS_PER_RANK] * NUM_RANKS)
+    ops = {"dispatch_a2a", "rbd_s1_a2a", "rbd_s2_a2a"}
+    inter, intra = tier_bytes(world, ops)
+    print(f"{label:>12s}: inter-node {inter / 2**20:7.2f} MiB | "
+          f"intra-node {intra / 2**20:7.2f} MiB")
+    return combined, dispatcher
+
+
+def main():
+    print("=== Redundancy-Bypassing Dispatch on 2 Frontier nodes (16 GCDs) ===")
+    print(f"{NUM_EXPERTS} experts, top-{TOP_K}, {TOKENS_PER_RANK} tokens per rank\n")
+    tokens, pfts, weights = build_inputs()
+
+    flat_out, _ = run(DistributedMoEDispatcher, "flat a2a", tokens, pfts, weights)
+    rbd_out, rbd = run(RBDDispatcher, "RBD", tokens, pfts, weights, seed=7)
+
+    max_diff = max(
+        np.abs(flat_out[r] - rbd_out[r]).max() for r in range(NUM_RANKS)
+    )
+    print(f"\nmeasured redundancy rate : {rbd.last_stats['redundancy_rate']:.1%}")
+    print(f"pilot tokens             : {int(rbd.last_stats['pilots'])}")
+    print(f"local replica tokens     : {int(rbd.last_stats['replicas'])}")
+    print(f"max |output difference|  : {max_diff:.2e}")
+    print("\nRBD sends only one pilot copy of each token per destination node")
+    print("across the slow inter-node links and rebuilds the replicas locally,")
+    print("so the expert inputs and the final outputs are unchanged.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Loss-validation example (Fig. 15, scaled down).
+
+Trains the same tiny MoE transformer twice on the same synthetic data:
+once with the DeepSpeed-MoE style zero-padded pipeline (negative-score
+token dropping) and once with X-MoE's padding-free pipeline (capacity-only
+dropping), then prints the two loss curves side by side.
+
+Run:  python examples/train_small_moe.py [--steps 60]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import PaddedMoELayer
+from repro.moe import (
+    DropPolicy,
+    MoETransformerLM,
+    SyntheticLMDataset,
+    TransformerConfig,
+)
+from repro.tensor import Adam
+from repro.xmoe import PaddingFreeMoELayer
+
+
+def make_config(drop_policy: DropPolicy) -> TransformerConfig:
+    return TransformerConfig(
+        vocab_size=128,
+        hidden_size=32,
+        ffn_hidden_size=16,
+        num_experts=8,
+        top_k=2,
+        num_layers=2,
+        seq_length=64,
+        capacity_factor=1.5,
+        drop_policy=drop_policy,
+    )
+
+
+def train(model: MoETransformerLM, steps: int, data_seed: int) -> list[float]:
+    dataset = SyntheticLMDataset(128, 64, seed=data_seed)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    losses = []
+    for step in range(steps):
+        sequence = dataset.sample_sequence()
+        optimizer.zero_grad()
+        loss, lm_loss = model.loss(sequence)
+        loss.backward()
+        optimizer.step()
+        losses.append(lm_loss)
+    return losses
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=60)
+    args = parser.parse_args()
+
+    deepspeed_model = MoETransformerLM(
+        make_config(DropPolicy.SCORE_THRESHOLD),
+        lambda gate, experts, cap: PaddedMoELayer(gate, experts, cap),
+        seed=21,
+    )
+    xmoe_model = MoETransformerLM(
+        make_config(DropPolicy.CAPACITY_ONLY),
+        lambda gate, experts, cap: PaddingFreeMoELayer(gate, experts, cap),
+        seed=21,
+    )
+    print(f"model parameters: {xmoe_model.num_parameters():,}")
+    print(f"training both pipelines for {args.steps} steps on identical data...\n")
+
+    ds_losses = train(deepspeed_model, args.steps, data_seed=5)
+    xmoe_losses = train(xmoe_model, args.steps, data_seed=5)
+
+    print(f"{'step':>5} | {'DeepSpeed-MoE':>14} | {'X-MoE':>8}")
+    print("-" * 35)
+    for step in range(0, args.steps, max(1, args.steps // 15)):
+        print(f"{step:>5} | {ds_losses[step]:>14.4f} | {xmoe_losses[step]:>8.4f}")
+
+    diff = np.abs(np.array(ds_losses) - np.array(xmoe_losses))
+    corr = np.corrcoef(ds_losses, xmoe_losses)[0, 1]
+    print(f"\nmean |loss difference| : {diff.mean():.4f}")
+    print(f"curve correlation      : {corr:.4f}")
+    print("\nAs in Fig. 15, the padding-free pipeline tracks the baseline's")
+    print("convergence; small residual differences come from the different")
+    print("token-dropping rules (X-MoE retains more tokens).")
+
+
+if __name__ == "__main__":
+    main()

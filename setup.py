@@ -1,0 +1,5 @@
+"""Setuptools shim (kept so editable installs work on offline machines
+without the `wheel` package; configuration lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

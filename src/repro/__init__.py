@@ -1,0 +1,38 @@
+"""repro — reproduction of X-MoE (SC 2025).
+
+X-MoE is a training system for emerging expert-specialized
+Mixture-of-Experts models (DeepSeek-style: many fine-grained experts, large
+top-k routing) on HPC platforms with hierarchical networks.  This package
+re-implements the system and every substrate it needs — a simulated
+Frontier-like cluster, a communication layer, a numpy autograd engine, the
+MoE model components, and the baseline systems it is compared against — so
+that every table and figure of the paper's evaluation can be regenerated.
+
+Top-level layout (see DESIGN.md for the experiment index):
+
+* :mod:`repro.config` — model / parallelism / hardware configurations.
+* :mod:`repro.cluster` — simulated devices, topology, and network model.
+* :mod:`repro.comm` — process groups and functional + costed collectives.
+* :mod:`repro.tensor` — minimal reverse-mode autograd over numpy.
+* :mod:`repro.moe` — gating, experts, transformer blocks, synthetic data.
+* :mod:`repro.baselines` — DeepSpeed-MoE, Tutel, DeepSpeed-TED, Megablocks.
+* :mod:`repro.xmoe` — the X-MoE contribution: PFT, padding-free pipeline,
+  RBD, SSMB, parallelism planning, memory and performance models, trainer.
+* :mod:`repro.analysis` — redundancy / trade-off / sensitivity analyses.
+"""
+
+__version__ = "0.1.0"
+
+from repro import analysis, baselines, cluster, comm, config, moe, tensor, xmoe
+
+__all__ = [
+    "config",
+    "cluster",
+    "comm",
+    "tensor",
+    "moe",
+    "baselines",
+    "xmoe",
+    "analysis",
+    "__version__",
+]

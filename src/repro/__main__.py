@@ -1,0 +1,116 @@
+"""Command-line entry point: regenerate the paper's headline results.
+
+Usage::
+
+    python -m repro fig9        # trainability + throughput on 256/1024 GPUs
+    python -m repro table4      # per-MoE-layer activation memory
+    python -m repro fig4        # redundancy rate vs EP size
+    python -m repro fig13       # SSMB memory saving vs TP degree
+    python -m repro configs     # Table 3 model configurations
+
+Each subcommand prints the corresponding rows; the full benchmark harness
+(with assertions on the expected shapes) lives under ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def _cmd_configs(_args) -> None:
+    from repro.config import PAPER_CONFIGS, paper_config
+
+    print(f"{'model':>8} | {'total (B)':>10} | {'activated (B)':>14} | experts | top-k | layers")
+    for name in ("small", "medium", "large", "super"):
+        cfg = paper_config(name)
+        print(
+            f"{name:>8} | {cfg.total_params() / 1e9:>10.1f} | "
+            f"{cfg.activated_params() / 1e9:>14.1f} | {cfg.num_experts:>7} | "
+            f"{cfg.top_k:>5} | {cfg.num_layers:>6}"
+        )
+
+
+def _cmd_fig4(_args) -> None:
+    from repro.analysis import redundancy_by_ep_size
+
+    print("EP size | redundant share of dispatched tokens")
+    for ep, rate in redundancy_by_ep_size().items():
+        print(f"{ep:>7} | {rate:.1%}")
+
+
+def _cmd_table4(_args) -> None:
+    from repro.config import ParallelConfig, paper_config
+    from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+    parallel = ParallelConfig(
+        world_size=256, ep_size=64, micro_batch_size=1, global_batch_size=1024
+    )
+    memory = MoEMemoryModel(paper_config("large"), parallel)
+    print("per-MoE-layer activation memory, Large model, 256 GPUs, EP=64")
+    for kind in (SystemKind.DEEPSPEED_MOE, SystemKind.TUTEL, SystemKind.XMOE, SystemKind.THEORETICAL):
+        total = memory.moe_layer_activations(kind).total() / 2**30
+        print(f"  {kind.value:<15s}: {total:5.2f} GB")
+
+
+def _cmd_fig13(_args) -> None:
+    from repro.config import ParallelConfig, paper_config
+    from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+    model = paper_config("large")
+    print("max per-device memory, Large model, 256 GPUs, EP=64")
+    for tp in (1, 2, 4):
+        base = ParallelConfig(
+            world_size=256, ep_size=64, tp_size=tp, micro_batch_size=1, global_batch_size=1024
+        )
+        with_ssmb = MoEMemoryModel(model, base.with_overrides(use_ssmb=True)).report(SystemKind.XMOE)
+        without = MoEMemoryModel(model, base.with_overrides(use_ssmb=False)).report(SystemKind.XMOE)
+        print(f"  TP={tp}: w/o SSMB {without.total_gb:6.1f} GB | w/ SSMB {with_ssmb.total_gb:6.1f} GB")
+
+
+def _cmd_fig9(args) -> None:
+    from repro.config import frontier_system, paper_config
+    from repro.xmoe.memory_model import SystemKind
+    from repro.xmoe.trainer import sweep_best_config
+
+    kinds = [
+        SystemKind.DEEPSPEED_MOE,
+        SystemKind.DEEPSPEED_TED,
+        SystemKind.TUTEL,
+        SystemKind.XMOE,
+    ]
+    models = ["small", "medium", "large"] if not args.quick else ["small"]
+    sys256 = frontier_system(num_nodes=32)
+    print(f"{'model':>8} | " + " | ".join(f"{k.value:>14}" for k in kinds))
+    for name in models:
+        cells = []
+        for kind in kinds:
+            result = sweep_best_config(paper_config(name), 256, kind, sys256)
+            cells.append("OOM" if result.oom else f"{result.tflops_per_gpu:.1f} TF")
+        print(f"{name:>8} | " + " | ".join(f"{c:>14}" for c in cells))
+    if not args.quick:
+        result = sweep_best_config(
+            paper_config("super"), 1024, SystemKind.XMOE, frontier_system(num_nodes=128)
+        )
+        status = "OOM" if result.oom else (
+            f"{result.tflops_per_gpu:.1f} TF/GPU, {result.aggregated_pflops:.2f} PFLOPs"
+        )
+        print(f"{'super':>8} | x-moe on 1024 GPUs: {status}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("configs", help="Table 3 model configurations").set_defaults(fn=_cmd_configs)
+    sub.add_parser("fig4", help="redundancy rate vs EP size").set_defaults(fn=_cmd_fig4)
+    sub.add_parser("table4", help="per-layer activation memory").set_defaults(fn=_cmd_table4)
+    sub.add_parser("fig13", help="SSMB memory saving vs TP").set_defaults(fn=_cmd_fig13)
+    fig9 = sub.add_parser("fig9", help="trainability and throughput sweep")
+    fig9.add_argument("--quick", action="store_true", help="only the Small model")
+    fig9.set_defaults(fn=_cmd_fig9)
+    args = parser.parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Analysis utilities backing the paper's motivation and appendix figures.
+
+* :mod:`repro.analysis.redundancy` — dispatch redundancy rate vs EP size
+  (Fig. 4), both analytic and empirically sampled.
+* :mod:`repro.analysis.tradeoff` — SSMB vs TED advantage regions over the
+  (H_FFN, top-k) plane for popular MoE models (Fig. 17).
+* :mod:`repro.analysis.sensitivity` — all-to-all latency characterization
+  across GPU scale, with cross-rack congestion outliers (Figs. 18–19).
+* :mod:`repro.analysis.checkpointing` — activation-checkpointing vs SSMB
+  comparison (Fig. 14).
+"""
+
+from repro.analysis.redundancy import (
+    redundancy_by_ep_size,
+    sample_redundancy_rate,
+)
+from repro.analysis.tradeoff import (
+    KNOWN_MOE_MODELS,
+    advantage_border_topk,
+    ssmb_advantage,
+    tradeoff_table,
+)
+from repro.analysis.sensitivity import (
+    AllToAllSample,
+    characterize_alltoall_latency,
+    mean_latency_by_scale,
+)
+from repro.analysis.checkpointing import compare_ssmb_vs_checkpointing
+
+__all__ = [
+    "redundancy_by_ep_size",
+    "sample_redundancy_rate",
+    "KNOWN_MOE_MODELS",
+    "advantage_border_topk",
+    "ssmb_advantage",
+    "tradeoff_table",
+    "AllToAllSample",
+    "characterize_alltoall_latency",
+    "mean_latency_by_scale",
+    "compare_ssmb_vs_checkpointing",
+]

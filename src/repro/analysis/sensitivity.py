@@ -1,0 +1,76 @@
+"""All-to-all latency characterization across scale (Appendix D, Figs. 18–19).
+
+The paper profiles the all-to-all collective on Frontier from 8 to 1024
+GCDs over 1000 runs and observes three regimes: latency grows from 8 to 32
+GPUs, stays flat from 32 to 256 GPUs (one rack), and beyond 256 GPUs —
+where the collective crosses racks on the Dragonfly global links — frequent
+outliers above 500 ms appear due to congestion with other jobs.  Based on
+that, the paper caps EP at 256.
+
+:func:`characterize_alltoall_latency` reproduces the experiment against the
+simulated network: repeated all-to-all cost samples with the congestion
+sampler enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import Topology
+from repro.config.hardware import SystemSpec, frontier_system
+
+
+@dataclass
+class AllToAllSample:
+    """Latency samples for one GPU count."""
+
+    num_gpus: int
+    latencies_ms: np.ndarray
+
+    @property
+    def mean_ms(self) -> float:
+        return float(self.latencies_ms.mean())
+
+    @property
+    def p99_ms(self) -> float:
+        return float(np.percentile(self.latencies_ms, 99))
+
+    def outlier_fraction(self, threshold_ms: float = 500.0) -> float:
+        """Fraction of runs slower than ``threshold_ms`` (Fig. 18 outliers)."""
+        return float((self.latencies_ms > threshold_ms).mean())
+
+
+def characterize_alltoall_latency(
+    gpu_counts: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024),
+    *,
+    payload_mb_per_rank: float = 64.0,
+    num_runs: int = 1000,
+    system: SystemSpec | None = None,
+    seed: int = 0,
+) -> list[AllToAllSample]:
+    """Sample all-to-all completion times for each GPU count."""
+    if num_runs <= 0:
+        raise ValueError("num_runs must be positive")
+    samples: list[AllToAllSample] = []
+    for idx, gpus in enumerate(gpu_counts):
+        sys_spec = system or frontier_system(num_nodes=max(1, -(-gpus // 8)))
+        topo = Topology(sys_spec, gpus)
+        network = NetworkModel(topo, seed=seed + idx)
+        per_pair = payload_mb_per_rank * 2**20 / max(1, gpus - 1)
+        traffic = np.full((gpus, gpus), per_pair)
+        np.fill_diagonal(traffic, 0.0)
+        ranks = np.arange(gpus)
+        lat = np.empty(num_runs)
+        for run in range(num_runs):
+            est = network.alltoall_time(traffic, ranks, sample_congestion=True)
+            lat[run] = est.seconds * 1e3
+        samples.append(AllToAllSample(num_gpus=gpus, latencies_ms=lat))
+    return samples
+
+
+def mean_latency_by_scale(samples: list[AllToAllSample]) -> dict[int, float]:
+    """Mean all-to-all latency (ms) keyed by GPU count (Fig. 19)."""
+    return {s.num_gpus: s.mean_ms for s in samples}

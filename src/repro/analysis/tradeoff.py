@@ -1,0 +1,80 @@
+"""SSMB vs TED memory-saving trade-off (Appendix C.2, Fig. 17).
+
+SSMB saves activation memory proportional to ``c * k * S * H`` per device
+but keeps the expert model states that TED would have sliced by TP.  The
+break-even condition derived in the paper is
+
+``r = k / H_FFN  >  2 / (c * S)``  →  SSMB saves more memory than TED.
+
+Fig. 17 places popular MoE models on the (H_FFN, top-k) plane together with
+the break-even border for several sequence lengths: the DeepSeek family
+falls in SSMB's advantage region, the Mixtral family in TED's, and Arctic
+sits near the border (its verdict flips with the sequence length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MoEModelPoint:
+    """A published MoE model's position on the (H_FFN, top-k) plane."""
+
+    name: str
+    ffn_hidden_size: int
+    top_k: int
+
+
+#: The models the paper plots in Fig. 17.
+KNOWN_MOE_MODELS: dict[str, MoEModelPoint] = {
+    "mixtral-8x7b": MoEModelPoint("mixtral-8x7b", ffn_hidden_size=14336, top_k=2),
+    "mixtral-8x22b": MoEModelPoint("mixtral-8x22b", ffn_hidden_size=16384, top_k=2),
+    "deepseek-moe": MoEModelPoint("deepseek-moe", ffn_hidden_size=1408, top_k=6),
+    "deepseek-v3": MoEModelPoint("deepseek-v3", ffn_hidden_size=2048, top_k=8),
+    "arctic": MoEModelPoint("arctic", ffn_hidden_size=4864, top_k=2),
+}
+
+
+def ssmb_advantage(
+    ffn_hidden_size: int,
+    top_k: int,
+    seq_length: int,
+    capacity_factor: float = 1.0,
+) -> bool:
+    """True when SSMB saves more memory than TED for this configuration."""
+    if min(ffn_hidden_size, top_k, seq_length) <= 0 or capacity_factor <= 0:
+        raise ValueError("all arguments must be positive")
+    r = top_k / ffn_hidden_size
+    return r > 2.0 / (capacity_factor * seq_length)
+
+
+def advantage_border_topk(
+    ffn_hidden_size: int, seq_length: int, capacity_factor: float = 1.0
+) -> float:
+    """The top-k value on the SSMB/TED border for a given ``H_FFN`` and ``S``.
+
+    Points above this line (larger top-k) are in SSMB's advantage zone.
+    """
+    if ffn_hidden_size <= 0 or seq_length <= 0 or capacity_factor <= 0:
+        raise ValueError("all arguments must be positive")
+    return 2.0 * ffn_hidden_size / (capacity_factor * seq_length)
+
+
+def tradeoff_table(
+    seq_lengths: tuple[int, ...] = (2048, 4096, 8192),
+    capacity_factor: float = 1.0,
+) -> dict[str, dict[int, bool]]:
+    """For every known model and sequence length: does SSMB win?
+
+    Reproduces the qualitative content of Fig. 17: DeepSeek models always in
+    the SSMB zone, Mixtral models always in the TED zone, Arctic flipping
+    with sequence length.
+    """
+    table: dict[str, dict[int, bool]] = {}
+    for name, point in KNOWN_MOE_MODELS.items():
+        table[name] = {
+            s: ssmb_advantage(point.ffn_hidden_size, point.top_k, s, capacity_factor)
+            for s in seq_lengths
+        }
+    return table

@@ -1,0 +1,33 @@
+"""Baseline MoE training systems the paper compares against.
+
+Each baseline reproduces the *algorithmic* behaviour of the corresponding
+system's MoE layer — how tokens are dispatched, how much padding is
+created, which dtype the combine buffer uses, how the model is sharded —
+because those properties (not CUDA kernel details) are what the paper's
+comparisons measure.
+
+* :mod:`repro.baselines.deepspeed_moe` — GShard-style dense dispatch mask,
+  fixed expert capacity with zero padding, even all-to-all, and the
+  negative-score token-dropping policy (§5.6).
+* :mod:`repro.baselines.tutel` — the Tutel variant: same padded pipeline
+  plus the fp32 combine buffer it forces on AMD GPUs (Table 4) and an
+  adaptive parallelism switch.
+* :mod:`repro.baselines.ted` — DeepSpeed-TED: tensor-expert-data three-way
+  sharding description used by the memory/throughput models.
+* :mod:`repro.baselines.megablocks` — block-sparse dispatch that pads each
+  expert's token group to a block-size multiple.
+"""
+
+from repro.baselines.deepspeed_moe import PaddedMoELayer, PaddedDispatchStats
+from repro.baselines.tutel import TutelMoELayer
+from repro.baselines.ted import TEDShardingModel
+from repro.baselines.megablocks import MegablocksDispatcher, BlockPaddingStats
+
+__all__ = [
+    "PaddedMoELayer",
+    "PaddedDispatchStats",
+    "TutelMoELayer",
+    "TEDShardingModel",
+    "MegablocksDispatcher",
+    "BlockPaddingStats",
+]

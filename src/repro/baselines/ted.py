@@ -1,0 +1,80 @@
+"""DeepSpeed-TED: tensor-expert-data three-dimensional parallelism.
+
+TED (Singh et al., ICS'23) combines ZeRO data parallelism, expert
+parallelism, and Megatron-style tensor slicing of the expert FFNs.  The
+paper's analysis (§4.3 and Appendix C.2) shows why this helps conventional
+MoEs but not expert-specialized ones: TP slices the (already small) expert
+intermediate dimension and the model states, but it does **not** reduce the
+dominant ``A_dispatch`` / ``A_combine`` activations, because every TP rank
+still holds a full copy of the input sequence.
+
+:class:`TEDShardingModel` captures exactly that accounting so the memory
+model can compare TED with SSMB (Fig. 13, Fig. 17, Eqs. 1–2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model_config import MoEModelConfig
+from repro.config.parallel_config import ParallelConfig
+
+
+@dataclass(frozen=True)
+class TEDShardingModel:
+    """Per-device sharding factors under TED parallelism."""
+
+    model: MoEModelConfig
+    parallel: ParallelConfig
+
+    @property
+    def tp(self) -> int:
+        return self.parallel.tp_size
+
+    @property
+    def ep(self) -> int:
+        return self.parallel.ep_size
+
+    # -- model state sharding -------------------------------------------
+    def expert_params_per_device(self) -> float:
+        """Expert parameters held per device: sliced by both EP and TP."""
+        total = self.model.num_moe_layers * self.model.moe_layer_expert_params()
+        return total / (self.ep * self.tp)
+
+    def dense_params_per_device(self) -> float:
+        """Non-expert parameters per device: sliced by TP."""
+        dense = (
+            self.model.num_layers * self.model.attention_params()
+            + self.model.num_moe_layers * self.model.router_params()
+            + self.model.num_dense_layers * self.model.dense_ffn_params()
+            + self.model.embedding_params()
+        )
+        return dense / self.tp
+
+    # -- activation sharding ---------------------------------------------
+    def dispatch_activation_scale(self) -> float:
+        """Scale factor applied to ``A_dispatch``/``A_combine`` per device.
+
+        TED leaves these untouched: every TP rank duplicates the sequence, so
+        the factor is 1.0 regardless of the TP degree.
+        """
+        return 1.0
+
+    def interm_activation_scale(self) -> float:
+        """Scale factor applied to the expert-FFN intermediate activations.
+
+        TP slices the FFN hidden dimension, so the intermediates shrink by
+        the TP degree.
+        """
+        return 1.0 / self.tp
+
+    def extra_allreduce_bytes_per_layer(self, micro_tokens: int) -> float:
+        """Extra TP all-reduce volume per MoE layer per micro-batch.
+
+        Megatron-style TP needs an all-reduce of the ``[tokens, H]`` expert
+        block output across the TP group (2(g-1)/g of the data).
+        """
+        if self.tp == 1:
+            return 0.0
+        payload = micro_tokens * self.model.hidden_size * self.model.dtype_bytes
+        return 2.0 * payload * (self.tp - 1) / self.tp

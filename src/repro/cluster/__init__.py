@@ -1,0 +1,30 @@
+"""Simulated HPC cluster substrate.
+
+The cluster simulator provides three things the rest of the library builds
+on:
+
+* :mod:`repro.cluster.topology` — a hierarchical description of the machine
+  (GCD → package → node → rack → system) with distance/tier queries between
+  any two ranks.
+* :mod:`repro.cluster.device` — a per-rank byte-accurate memory tracker with
+  OOM detection, used both by the functional simulator and the analytical
+  memory model.
+* :mod:`repro.cluster.network` — the link/bandwidth model that converts a
+  transfer between two ranks (or a collective traffic matrix) into time,
+  including the Dragonfly cross-rack congestion behaviour the paper
+  characterizes in Appendix D.
+"""
+
+from repro.cluster.topology import LinkTier, Topology
+from repro.cluster.device import SimDevice, DeviceOOMError, MemoryTracker
+from repro.cluster.network import NetworkModel, TransferEstimate
+
+__all__ = [
+    "LinkTier",
+    "Topology",
+    "SimDevice",
+    "DeviceOOMError",
+    "MemoryTracker",
+    "NetworkModel",
+    "TransferEstimate",
+]

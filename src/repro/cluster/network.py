@@ -1,0 +1,202 @@
+"""Network link model: converting bytes into time.
+
+The :class:`NetworkModel` answers two questions:
+
+1. *Point-to-point*: how long does moving ``n`` bytes from rank ``i`` to
+   rank ``j`` take?  ``time = latency(tier) + bytes / bandwidth(tier)``.
+2. *Collective traffic matrix*: given a ``[P, P]`` matrix of bytes that an
+   all-to-all wants to move, how long does the collective take?  We use the
+   standard alpha-beta bottleneck model: every rank sends and receives its
+   rows/columns concurrently, each link tier has its own bandwidth, and the
+   collective finishes when the most loaded (rank, tier) pair finishes.
+   This captures exactly the effect the paper exploits — redundant bytes on
+   the 25 GB/s inter-node tier dominate, so removing them (RBD) or shrinking
+   the payload (PFT, SSMB) shortens the critical path.
+
+Cross-rack traffic is additionally subject to the congestion behaviour the
+paper characterizes in Appendix D: beyond one rack (256 GCDs on Frontier),
+a fraction of collectives hit slow outliers caused by contention with other
+jobs.  The sampler reproduces the "most runs < 100 ms, frequent > 500 ms
+outliers at 512/1024 GPUs" shape of Fig. 18.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.topology import LinkTier, Topology
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Time estimate for a transfer or collective."""
+
+    seconds: float
+    bottleneck_tier: LinkTier
+    bytes_by_tier: dict
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class NetworkModel:
+    """Alpha-beta cost model over a hierarchical topology."""
+
+    def __init__(self, topology: Topology, *, seed: int | None = None):
+        self.topology = topology
+        system = topology.system
+        node = system.node
+        # GB/s -> bytes/s
+        self._bandwidth = {
+            LinkTier.SELF: float("inf"),
+            LinkTier.INTRA_PACKAGE: node.intra_package_bw_gbps * 1e9,
+            LinkTier.INTRA_NODE: node.intra_node_bw_gbps * 1e9,
+            LinkTier.INTER_NODE: node.inter_node_bw_gbps * 1e9,
+            LinkTier.CROSS_RACK: system.cross_rack_bw_gbps * 1e9,
+        }
+        # microseconds -> seconds
+        self._latency = {
+            LinkTier.SELF: 0.0,
+            LinkTier.INTRA_PACKAGE: node.intra_node_latency_us * 1e-6 * 0.5,
+            LinkTier.INTRA_NODE: node.intra_node_latency_us * 1e-6,
+            LinkTier.INTER_NODE: node.inter_node_latency_us * 1e-6,
+            LinkTier.CROSS_RACK: system.cross_rack_latency_us * 1e-6,
+        }
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def bandwidth(self, tier: LinkTier) -> float:
+        """Bytes per second available on a link of the given tier."""
+        return self._bandwidth[tier]
+
+    def latency(self, tier: LinkTier) -> float:
+        """Per-message latency (seconds) on a link of the given tier."""
+        return self._latency[tier]
+
+    def p2p_time(self, src: int, dst: int, nbytes: int) -> float:
+        """Time to move ``nbytes`` from ``src`` to ``dst``."""
+        tier = self.topology.tier(src, dst)
+        if tier == LinkTier.SELF:
+            # On-device copy at HBM bandwidth.
+            hbm = self.topology.system.node.gpu.memory_bandwidth_gbps * 1e9
+            return nbytes / hbm
+        return self._latency[tier] + nbytes / self._bandwidth[tier]
+
+    # ------------------------------------------------------------------
+    def alltoall_time(
+        self,
+        traffic_matrix: np.ndarray,
+        ranks: np.ndarray | None = None,
+        *,
+        sample_congestion: bool = False,
+    ) -> TransferEstimate:
+        """Estimate the completion time of an all-to-all exchange.
+
+        Parameters
+        ----------
+        traffic_matrix:
+            ``[P, P]`` array; entry ``(i, j)`` is the number of bytes rank
+            ``ranks[i]`` sends to rank ``ranks[j]``.
+        ranks:
+            Global rank ids of the participants (defaults to ``0..P-1``).
+        sample_congestion:
+            If True and the exchange crosses racks, sample a congestion
+            multiplier from the outlier distribution instead of using the
+            mean behaviour.
+        """
+        traffic = np.asarray(traffic_matrix, dtype=np.float64)
+        if traffic.ndim != 2 or traffic.shape[0] != traffic.shape[1]:
+            raise ValueError("traffic_matrix must be a square [P, P] array")
+        p = traffic.shape[0]
+        if ranks is None:
+            ranks = np.arange(p)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size != p:
+            raise ValueError("ranks length must match the traffic matrix size")
+
+        tiers = self.topology.tier_matrix(ranks)
+        bytes_by_tier: dict[LinkTier, float] = {}
+        worst_time = 0.0
+        bottleneck = LinkTier.SELF
+        for tier in LinkTier:
+            mask = tiers == int(tier)
+            tier_bytes = float(traffic[mask].sum())
+            bytes_by_tier[tier] = tier_bytes
+            if tier_bytes == 0.0 or tier == LinkTier.SELF:
+                continue
+            send_load = (traffic * mask).sum(axis=1)
+            recv_load = (traffic * mask).sum(axis=0)
+            per_rank = float(np.maximum(send_load, recv_load).max())
+            bw = self._bandwidth[tier]
+            lat = self._latency[tier]
+            # Each rank exchanges with up to P-1 peers on this tier; latency
+            # amortizes over pipelined messages, so charge one latency term
+            # plus a small per-peer handshake.
+            peers = max(1, int(mask.sum(axis=1).max()))
+            t = lat + per_rank / bw + (peers - 1) * lat * 0.05
+            if tier == LinkTier.CROSS_RACK and sample_congestion:
+                t *= self._sample_congestion_factor()
+            if t > worst_time:
+                worst_time = t
+                bottleneck = tier
+        return TransferEstimate(
+            seconds=worst_time, bottleneck_tier=bottleneck, bytes_by_tier=bytes_by_tier
+        )
+
+    def allgather_time(self, nbytes_per_rank: int, ranks: np.ndarray) -> TransferEstimate:
+        """Ring all-gather estimate: every rank receives (P-1) chunks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        p = ranks.size
+        if p <= 1:
+            return TransferEstimate(0.0, LinkTier.SELF, {})
+        tiers = self.topology.tier_matrix(ranks)
+        worst_tier = LinkTier(int(tiers.max()))
+        bw = self._bandwidth[worst_tier]
+        lat = self._latency[worst_tier]
+        total = nbytes_per_rank * (p - 1)
+        seconds = (p - 1) * lat + total / bw
+        return TransferEstimate(seconds, worst_tier, {worst_tier: float(total)})
+
+    def allreduce_time(self, nbytes: int, ranks: np.ndarray) -> TransferEstimate:
+        """Ring all-reduce estimate (2(P-1)/P of the data over the worst tier)."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        p = ranks.size
+        if p <= 1:
+            return TransferEstimate(0.0, LinkTier.SELF, {})
+        tiers = self.topology.tier_matrix(ranks)
+        worst_tier = LinkTier(int(tiers.max()))
+        bw = self._bandwidth[worst_tier]
+        lat = self._latency[worst_tier]
+        volume = 2.0 * nbytes * (p - 1) / p
+        seconds = 2 * (p - 1) * lat + volume / bw
+        return TransferEstimate(seconds, worst_tier, {worst_tier: float(volume)})
+
+    # ------------------------------------------------------------------
+    def _sample_congestion_factor(self) -> float:
+        """Sample a slowdown factor for a cross-rack collective."""
+        system = self.topology.system
+        if self._rng.random() < system.congestion_outlier_prob:
+            # Outliers: heavy-tailed slowdown around the configured factor.
+            return float(
+                system.congestion_outlier_factor * (1.0 + self._rng.exponential(0.5))
+            )
+        return float(1.0 + abs(self._rng.normal(0.0, 0.1)))
+
+    def congestion_factor(self, num_ranks: int) -> float:
+        """Mean slowdown applied to collectives spanning ``num_ranks`` GPUs.
+
+        Below one rack the factor is 1.  Beyond a rack the expected value of
+        the outlier distribution is applied, growing mildly with the number
+        of racks involved (more global links → more contention).
+        """
+        system = self.topology.system
+        if num_ranks <= system.gpus_per_rack:
+            return 1.0
+        racks = -(-num_ranks // system.gpus_per_rack)
+        p = system.congestion_outlier_prob
+        mean_outlier = system.congestion_outlier_factor * 1.5
+        base = (1.0 - p) * 1.0 + p * mean_outlier
+        return float(base * (1.0 + 0.1 * (racks - 1)))

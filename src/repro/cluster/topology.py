@@ -1,0 +1,168 @@
+"""Hierarchical cluster topology.
+
+A :class:`Topology` maps a flat rank id to its position in the machine
+hierarchy (package, node, rack) and answers the question the communication
+layer cares about most: *which link tier does a message between rank i and
+rank j cross?*  Tiers are ordered from fastest to slowest:
+
+``SELF < INTRA_PACKAGE < INTRA_NODE < INTER_NODE < CROSS_RACK``
+
+On Frontier a package is one MI250X (two GCDs at 200 GB/s), a node holds 4
+packages (8 GCDs, 50–100 GB/s between packages), nodes talk over Slingshot
+(25 GB/s) and racks of 256 GCDs over the Dragonfly global links.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config.hardware import SystemSpec
+
+
+class LinkTier(enum.IntEnum):
+    """Network tier crossed by a point-to-point transfer."""
+
+    SELF = 0
+    INTRA_PACKAGE = 1
+    INTRA_NODE = 2
+    INTER_NODE = 3
+    CROSS_RACK = 4
+
+
+@dataclass(frozen=True)
+class RankLocation:
+    """Where a rank lives in the machine hierarchy."""
+
+    rank: int
+    package: int
+    node: int
+    rack: int
+    local_index: int  # index within the node
+
+
+class Topology:
+    """Rank-to-position mapping and tier queries for a :class:`SystemSpec`.
+
+    Parameters
+    ----------
+    system:
+        The hardware system description.
+    num_ranks:
+        Number of ranks actually used (defaults to every GPU in the system).
+        Ranks are assigned to GPUs in order: rank 0..G-1 on node 0, etc.
+    """
+
+    def __init__(self, system: SystemSpec, num_ranks: int | None = None):
+        self.system = system
+        total = system.total_gpus
+        if num_ranks is None:
+            num_ranks = total
+        if not (1 <= num_ranks <= total):
+            raise ValueError(
+                f"num_ranks={num_ranks} out of range for system with {total} GPUs"
+            )
+        self.num_ranks = num_ranks
+        node_spec = system.node
+        self.gpus_per_node = node_spec.gpus_per_node
+        self.gpus_per_package = node_spec.gpus_per_package
+        self.gpus_per_rack = system.gpus_per_rack
+
+        ranks = np.arange(num_ranks)
+        self._node_of = ranks // self.gpus_per_node
+        self._package_of = ranks // self.gpus_per_package
+        self._rack_of = ranks // self.gpus_per_rack
+        self._local_of = ranks % self.gpus_per_node
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes spanned by the active ranks."""
+        return int(self._node_of[-1]) + 1
+
+    @property
+    def num_racks(self) -> int:
+        """Number of racks spanned by the active ranks."""
+        return int(self._rack_of[-1]) + 1
+
+    def location(self, rank: int) -> RankLocation:
+        """Full location record for a rank."""
+        self._check_rank(rank)
+        return RankLocation(
+            rank=rank,
+            package=int(self._package_of[rank]),
+            node=int(self._node_of[rank]),
+            rack=int(self._rack_of[rank]),
+            local_index=int(self._local_of[rank]),
+        )
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        self._check_rank(rank)
+        return int(self._node_of[rank])
+
+    def rack_of(self, rank: int) -> int:
+        """Rack index hosting ``rank``."""
+        self._check_rank(rank)
+        return int(self._rack_of[rank])
+
+    def nodes_of(self, ranks) -> np.ndarray:
+        """Vectorized node lookup for an array of ranks."""
+        ranks = np.asarray(ranks, dtype=np.int64)
+        if ranks.size and (ranks.min() < 0 or ranks.max() >= self.num_ranks):
+            raise ValueError("rank out of range")
+        return self._node_of[ranks]
+
+    def tier(self, src: int, dst: int) -> LinkTier:
+        """The slowest link tier crossed by a transfer from src to dst."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            return LinkTier.SELF
+        if self._rack_of[src] != self._rack_of[dst]:
+            return LinkTier.CROSS_RACK
+        if self._node_of[src] != self._node_of[dst]:
+            return LinkTier.INTER_NODE
+        if self._package_of[src] != self._package_of[dst]:
+            return LinkTier.INTRA_NODE
+        return LinkTier.INTRA_PACKAGE
+
+    def tier_matrix(self, ranks=None) -> np.ndarray:
+        """Pairwise tier matrix (values of :class:`LinkTier`) for ``ranks``."""
+        if ranks is None:
+            ranks = np.arange(self.num_ranks)
+        ranks = np.asarray(ranks, dtype=np.int64)
+        node = self._node_of[ranks]
+        package = self._package_of[ranks]
+        rack = self._rack_of[ranks]
+        n = ranks.size
+        tiers = np.full((n, n), int(LinkTier.INTRA_PACKAGE), dtype=np.int8)
+        tiers[package[:, None] != package[None, :]] = int(LinkTier.INTRA_NODE)
+        tiers[node[:, None] != node[None, :]] = int(LinkTier.INTER_NODE)
+        tiers[rack[:, None] != rack[None, :]] = int(LinkTier.CROSS_RACK)
+        np.fill_diagonal(tiers, int(LinkTier.SELF))
+        return tiers
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All active ranks hosted on the given node."""
+        if not (0 <= node < self.num_nodes):
+            raise ValueError(f"node {node} out of range")
+        lo = node * self.gpus_per_node
+        hi = min((node + 1) * self.gpus_per_node, self.num_ranks)
+        return list(range(lo, hi))
+
+    def same_node(self, src: int, dst: int) -> bool:
+        """Whether two ranks share a node."""
+        return self.node_of(src) == self.node_of(dst)
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.num_ranks):
+            raise ValueError(f"rank {rank} out of range [0, {self.num_ranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology({self.system.name}, ranks={self.num_ranks}, "
+            f"nodes={self.num_nodes}, racks={self.num_racks})"
+        )

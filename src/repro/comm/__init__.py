@@ -1,0 +1,31 @@
+"""Simulated communication substrate.
+
+This package plays the role RCCL/NCCL plays in the real system.  It offers
+
+* :class:`repro.comm.process_group.CommWorld` — the global communicator:
+  topology + network model + per-rank devices + statistics.
+* :class:`repro.comm.process_group.ProcessGroup` — a subgroup of ranks with
+  *functional* collectives (they really shuffle numpy buffers between the
+  per-rank slots, so dispatch/combine correctness is testable) and a *cost*
+  attached to every call from the network model.
+* :mod:`repro.comm.cost_model` — standalone helpers to turn traffic
+  descriptions into time without materializing buffers (used for the large
+  analytic configurations of Figs. 9/10).
+"""
+
+from repro.comm.process_group import CommWorld, ProcessGroup, CommStats, CommEvent
+from repro.comm.cost_model import (
+    alltoall_traffic_matrix,
+    uniform_alltoall_time,
+    hierarchical_alltoall_time,
+)
+
+__all__ = [
+    "CommWorld",
+    "ProcessGroup",
+    "CommStats",
+    "CommEvent",
+    "alltoall_traffic_matrix",
+    "uniform_alltoall_time",
+    "hierarchical_alltoall_time",
+]

@@ -1,0 +1,106 @@
+"""Standalone communication cost helpers.
+
+The functional collectives in :mod:`repro.comm.process_group` are great for
+correctness but require materializing every buffer, which is impossible for
+the paper's 201B/545B configurations.  These helpers compute the same
+alpha-beta estimates from byte counts alone and are what the throughput
+model (Figs. 9, 10, 11, 12) uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel, TransferEstimate
+from repro.cluster.topology import LinkTier, Topology
+
+
+def alltoall_traffic_matrix(
+    tokens_to_rank: np.ndarray, bytes_per_token: float
+) -> np.ndarray:
+    """Build a ``[P, P]`` traffic matrix from a token-count matrix.
+
+    ``tokens_to_rank[i, j]`` is the number of tokens rank ``i`` sends to
+    rank ``j``; the result is the byte traffic matrix.
+    """
+    tokens = np.asarray(tokens_to_rank, dtype=np.float64)
+    if tokens.ndim != 2 or tokens.shape[0] != tokens.shape[1]:
+        raise ValueError("tokens_to_rank must be a square matrix")
+    return tokens * float(bytes_per_token)
+
+
+def uniform_alltoall_time(
+    network: NetworkModel,
+    ranks: np.ndarray,
+    bytes_per_rank_pair: float,
+    *,
+    include_self: bool = False,
+    congestion: bool = True,
+) -> TransferEstimate:
+    """All-to-all where every rank sends the same payload to every peer.
+
+    This models the *even* all-to-all of padded pipelines: each rank sends
+    ``bytes_per_rank_pair`` to every other participant regardless of how many
+    real tokens are inside (the padding travels too).
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    p = ranks.size
+    traffic = np.full((p, p), float(bytes_per_rank_pair))
+    if not include_self:
+        np.fill_diagonal(traffic, 0.0)
+    est = network.alltoall_time(traffic, ranks)
+    if congestion:
+        factor = network.congestion_factor(p)
+        est = TransferEstimate(
+            seconds=est.seconds * factor,
+            bottleneck_tier=est.bottleneck_tier,
+            bytes_by_tier=est.bytes_by_tier,
+        )
+    return est
+
+
+def hierarchical_alltoall_time(
+    network: NetworkModel,
+    ranks: np.ndarray,
+    inter_node_bytes_per_rank: float,
+    intra_node_bytes_per_rank: float,
+    *,
+    congestion: bool = True,
+) -> tuple[TransferEstimate, TransferEstimate]:
+    """Cost of RBD's two-stage dispatch.
+
+    Stage 1 moves ``inter_node_bytes_per_rank`` from each rank across node
+    boundaries (pilot tokens); stage 2 moves ``intra_node_bytes_per_rank``
+    between the GPUs of each node (local replicas).  Returns the two
+    estimates ``(inter, intra)``; the total dispatch time is their sum since
+    stage 2 depends on stage 1's data.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    topo = network.topology
+    p = ranks.size
+    nodes = topo.nodes_of(ranks)
+
+    # Inter-node stage: spread each rank's inter-node payload uniformly over
+    # the peers living on other nodes.
+    inter_traffic = np.zeros((p, p))
+    for i in range(p):
+        others = np.flatnonzero(nodes != nodes[i])
+        if others.size:
+            inter_traffic[i, others] = inter_node_bytes_per_rank / others.size
+    inter_est = network.alltoall_time(inter_traffic, ranks)
+    if congestion:
+        factor = network.congestion_factor(p)
+        inter_est = TransferEstimate(
+            seconds=inter_est.seconds * factor,
+            bottleneck_tier=inter_est.bottleneck_tier,
+            bytes_by_tier=inter_est.bytes_by_tier,
+        )
+
+    # Intra-node stage: payload spread over same-node peers.
+    intra_traffic = np.zeros((p, p))
+    for i in range(p):
+        peers = np.flatnonzero((nodes == nodes[i]) & (np.arange(p) != i))
+        if peers.size:
+            intra_traffic[i, peers] = intra_node_bytes_per_rank / peers.size
+    intra_est = network.alltoall_time(intra_traffic, ranks)
+    return inter_est, intra_est

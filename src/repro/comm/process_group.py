@@ -1,0 +1,334 @@
+"""Process groups and functional collectives over the simulated cluster.
+
+The design mirrors ``torch.distributed``: a :class:`CommWorld` owns all the
+ranks; :class:`ProcessGroup` objects are subsets of ranks over which
+collectives run.  Because everything lives in one Python process, a
+collective is implemented as an actual data shuffle between per-rank slots,
+which makes the MoE dispatch/combine pipelines exactly testable.  Every call
+also asks the :class:`~repro.cluster.network.NetworkModel` for a time
+estimate and records it in :class:`CommStats`, which is what the performance
+benchmarks read out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.device import SimDevice
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import LinkTier, Topology
+from repro.config.hardware import SystemSpec, frontier_system
+
+
+@dataclass
+class CommEvent:
+    """One recorded collective call."""
+
+    op: str
+    group_size: int
+    total_bytes: float
+    seconds: float
+    bottleneck_tier: LinkTier
+    bytes_by_tier: dict = field(default_factory=dict)
+
+
+@dataclass
+class CommStats:
+    """Accumulated communication statistics."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def record(self, event: CommEvent) -> None:
+        self.events.append(event)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(e.total_bytes for e in self.events)
+
+    def seconds_by_op(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.op] = out.get(e.op, 0.0) + e.seconds
+        return out
+
+    def bytes_by_tier(self) -> dict[LinkTier, float]:
+        out: dict[LinkTier, float] = {}
+        for e in self.events:
+            for tier, nbytes in e.bytes_by_tier.items():
+                out[tier] = out.get(tier, 0.0) + nbytes
+        return out
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class CommWorld:
+    """The global communicator over a simulated system.
+
+    Parameters
+    ----------
+    system:
+        Hardware description (defaults to a Frontier partition).
+    num_ranks:
+        Number of simulated ranks.
+    seed:
+        Seed for the congestion sampler.
+    track_memory:
+        If True, collectives charge their receive buffers to the destination
+        rank's :class:`SimDevice` memory tracker.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        system: SystemSpec | None = None,
+        *,
+        seed: int | None = 0,
+        track_memory: bool = False,
+    ):
+        if system is None:
+            needed_nodes = max(1, -(-num_ranks // 8))
+            system = frontier_system(num_nodes=needed_nodes)
+        self.system = system
+        self.topology = Topology(system, num_ranks)
+        self.network = NetworkModel(self.topology, seed=seed)
+        self.num_ranks = num_ranks
+        self.devices = [SimDevice(r, system.node.gpu) for r in range(num_ranks)]
+        self.stats = CommStats()
+        self.track_memory = track_memory
+
+    def group(self, ranks) -> "ProcessGroup":
+        """Create a process group over the given global ranks."""
+        return ProcessGroup(self, list(ranks))
+
+    def world_group(self) -> "ProcessGroup":
+        """The group containing every rank."""
+        return self.group(range(self.num_ranks))
+
+    def node_group(self, node: int) -> "ProcessGroup":
+        """The group of all ranks on one node."""
+        return self.group(self.topology.ranks_on_node(node))
+
+
+class ProcessGroup:
+    """A subset of ranks with functional + costed collectives.
+
+    Collectives take *lists indexed by group-local rank* and return lists in
+    the same convention.  For example ``alltoall(chunks)`` expects
+    ``chunks[i][j]`` = the array local rank ``i`` sends to local rank ``j``
+    and returns ``out`` with ``out[j][i] = chunks[i][j]``.
+    """
+
+    def __init__(self, world: CommWorld, ranks: list[int]):
+        if len(ranks) == 0:
+            raise ValueError("process group must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("duplicate ranks in process group")
+        for r in ranks:
+            if not (0 <= r < world.num_ranks):
+                raise ValueError(f"rank {r} out of range")
+        self.world = world
+        self.ranks = list(ranks)
+        self.size = len(ranks)
+        self._global = np.asarray(ranks, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _record(self, op: str, traffic: np.ndarray, estimate) -> None:
+        self.world.stats.record(
+            CommEvent(
+                op=op,
+                group_size=self.size,
+                total_bytes=float(np.asarray(traffic).sum()),
+                seconds=estimate.seconds,
+                bottleneck_tier=estimate.bottleneck_tier,
+                bytes_by_tier=dict(estimate.bytes_by_tier),
+            )
+        )
+
+    def _charge_memory(self, local_rank: int, tag: str, arrays) -> None:
+        if not self.world.track_memory:
+            return
+        device = self.world.devices[self.ranks[local_rank]]
+        nbytes = sum(int(a.nbytes) for a in arrays)
+        device.alloc(tag, nbytes)
+
+    # ------------------------------------------------------------------
+    def alltoall(self, chunks: list[list[np.ndarray]], *, op_name: str = "alltoall"):
+        """Generic all-to-all of per-destination numpy chunks.
+
+        ``chunks[i][j]`` is what local rank ``i`` sends to local rank ``j``.
+        Returns ``received`` with ``received[j][i] = chunks[i][j]``.
+        """
+        if len(chunks) != self.size:
+            raise ValueError(
+                f"expected {self.size} send lists, got {len(chunks)}"
+            )
+        for i, row in enumerate(chunks):
+            if len(row) != self.size:
+                raise ValueError(
+                    f"rank {i} provided {len(row)} chunks, expected {self.size}"
+                )
+        traffic = np.array(
+            [[float(chunks[i][j].nbytes) for j in range(self.size)] for i in range(self.size)]
+        )
+        estimate = self.world.network.alltoall_time(traffic, self._global)
+        self._record(op_name, traffic, estimate)
+        received = [[chunks[i][j] for i in range(self.size)] for j in range(self.size)]
+        return received
+
+    def alltoall_single(self, buffers: list[np.ndarray], *, op_name: str = "alltoall"):
+        """Even all-to-all: each rank's buffer is split into ``size`` equal
+        slices along axis 0 and slice ``j`` is delivered to rank ``j``.
+
+        Returns per-rank arrays formed by concatenating the received slices
+        in source-rank order — the semantics of ``all_to_all_single``.
+        """
+        if len(buffers) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(buffers)}")
+        chunks = []
+        for i, buf in enumerate(buffers):
+            if buf.shape[0] % self.size:
+                raise ValueError(
+                    f"rank {i} buffer first dim {buf.shape[0]} not divisible by "
+                    f"group size {self.size}"
+                )
+            chunks.append(list(np.split(buf, self.size, axis=0)))
+        received = self.alltoall(chunks, op_name=op_name)
+        return [np.concatenate(r, axis=0) for r in received]
+
+    def alltoallv(
+        self,
+        buffers: list[np.ndarray],
+        send_splits: list[np.ndarray],
+        *,
+        op_name: str = "alltoallv",
+    ):
+        """Uneven all-to-all along axis 0.
+
+        ``send_splits[i]`` is a length-``size`` integer array; rank ``i``
+        sends the first ``send_splits[i][0]`` rows to rank 0, the next
+        ``send_splits[i][1]`` rows to rank 1, and so on.  Returns
+        ``(received_buffers, recv_splits)`` where ``recv_splits[j][i]`` is
+        the number of rows rank ``j`` received from rank ``i``.
+        """
+        if len(buffers) != self.size or len(send_splits) != self.size:
+            raise ValueError("buffers and send_splits must both have group-size entries")
+        chunks: list[list[np.ndarray]] = []
+        for i, (buf, splits) in enumerate(zip(buffers, send_splits)):
+            splits = np.asarray(splits, dtype=np.int64)
+            if splits.size != self.size:
+                raise ValueError(
+                    f"rank {i} send_splits has {splits.size} entries, expected {self.size}"
+                )
+            if splits.sum() != buf.shape[0]:
+                raise ValueError(
+                    f"rank {i} send_splits sum {splits.sum()} != buffer rows {buf.shape[0]}"
+                )
+            offsets = np.concatenate([[0], np.cumsum(splits)])
+            chunks.append(
+                [buf[offsets[j] : offsets[j + 1]] for j in range(self.size)]
+            )
+        received = self.alltoall(chunks, op_name=op_name)
+        recv_splits = [
+            np.array([received[j][i].shape[0] for i in range(self.size)], dtype=np.int64)
+            for j in range(self.size)
+        ]
+        out = []
+        for j in range(self.size):
+            parts = [r for r in received[j]]
+            if parts:
+                out.append(np.concatenate(parts, axis=0))
+            else:  # pragma: no cover - group of size 0 impossible
+                out.append(np.empty((0,)))
+        return out, recv_splits
+
+    def allgather(self, buffers: list[np.ndarray], *, op_name: str = "allgather"):
+        """All-gather along axis 0: every rank receives the concatenation of
+        all ranks' buffers (in rank order)."""
+        if len(buffers) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(buffers)}")
+        nbytes = max(int(b.nbytes) for b in buffers)
+        estimate = self.world.network.allgather_time(nbytes, self._global)
+        traffic = np.full((self.size, self.size), nbytes, dtype=np.float64)
+        np.fill_diagonal(traffic, 0.0)
+        self._record(op_name, traffic, estimate)
+        gathered = np.concatenate(buffers, axis=0)
+        return [gathered.copy() for _ in range(self.size)]
+
+    def allreduce(
+        self, buffers: list[np.ndarray], *, op: str = "sum", op_name: str = "allreduce"
+    ):
+        """All-reduce: every rank receives the elementwise reduction."""
+        if len(buffers) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(buffers)}")
+        shapes = {b.shape for b in buffers}
+        if len(shapes) != 1:
+            raise ValueError(f"allreduce requires identical shapes, got {shapes}")
+        stacked = np.stack(buffers, axis=0)
+        if op == "sum":
+            reduced = stacked.sum(axis=0)
+        elif op == "max":
+            reduced = stacked.max(axis=0)
+        elif op == "mean":
+            reduced = stacked.mean(axis=0)
+        else:
+            raise ValueError(f"unsupported allreduce op {op!r}")
+        nbytes = int(buffers[0].nbytes)
+        estimate = self.world.network.allreduce_time(nbytes, self._global)
+        traffic = np.full((self.size, self.size), nbytes / max(1, self.size - 1))
+        np.fill_diagonal(traffic, 0.0)
+        self._record(op_name, traffic, estimate)
+        return [reduced.copy() for _ in range(self.size)]
+
+    def reduce_scatter(
+        self, buffers: list[np.ndarray], *, op_name: str = "reduce_scatter"
+    ):
+        """Reduce-scatter along axis 0: rank ``j`` gets slice ``j`` of the sum."""
+        if len(buffers) != self.size:
+            raise ValueError(f"expected {self.size} buffers, got {len(buffers)}")
+        shapes = {b.shape for b in buffers}
+        if len(shapes) != 1:
+            raise ValueError(f"reduce_scatter requires identical shapes, got {shapes}")
+        if buffers[0].shape[0] % self.size:
+            raise ValueError("first dimension must be divisible by group size")
+        total = np.stack(buffers, axis=0).sum(axis=0)
+        slices = np.split(total, self.size, axis=0)
+        nbytes = int(buffers[0].nbytes)
+        estimate = self.world.network.allreduce_time(nbytes, self._global)
+        traffic = np.full((self.size, self.size), nbytes / max(1, self.size))
+        np.fill_diagonal(traffic, 0.0)
+        self._record(op_name, traffic, estimate)
+        return [s.copy() for s in slices]
+
+    def broadcast(self, buffer: np.ndarray, root: int = 0, *, op_name: str = "broadcast"):
+        """Broadcast ``buffer`` (held by local rank ``root``) to every rank."""
+        if not (0 <= root < self.size):
+            raise ValueError(f"root {root} out of range")
+        nbytes = int(buffer.nbytes)
+        estimate = self.world.network.allgather_time(nbytes, self._global)
+        traffic = np.zeros((self.size, self.size))
+        traffic[root, :] = nbytes
+        traffic[root, root] = 0.0
+        self._record(op_name, traffic, estimate)
+        return [buffer.copy() for _ in range(self.size)]
+
+    # ------------------------------------------------------------------
+    def node_local_subgroups(self) -> list["ProcessGroup"]:
+        """Split this group into subgroups of ranks sharing a node."""
+        by_node: dict[int, list[int]] = {}
+        for r in self.ranks:
+            by_node.setdefault(self.world.topology.node_of(r), []).append(r)
+        return [ProcessGroup(self.world, rs) for _, rs in sorted(by_node.items())]
+
+    def local_rank_of(self, global_rank: int) -> int:
+        """Group-local index of a global rank."""
+        return self.ranks.index(global_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ProcessGroup(size={self.size}, ranks={self.ranks[:8]}{'...' if self.size > 8 else ''})"

@@ -1,0 +1,73 @@
+"""Configuration objects for models, parallelism, and hardware.
+
+This package holds the declarative description of everything the rest of the
+library consumes:
+
+* :mod:`repro.config.model_config` — MoE model architectures, including the
+  four evaluation configurations from Table 3 of the paper (Small, Medium,
+  Large, Super) and the reduced "Small-SR" / "Small-LR" variants of Table 5.
+* :mod:`repro.config.parallel_config` — how a model is laid out across the
+  cluster (DP / EP / TP sizes, ZeRO stage, SSMB, placement order).
+* :mod:`repro.config.hardware` — GPU, node, and system specifications
+  (Frontier MI250X GCDs, NVIDIA A100 nodes) with link bandwidths.
+* :mod:`repro.config.equivalence` — size-equivalent conventional vs.
+  expert-specialized MoE construction (Table 1 of the paper).
+"""
+
+from repro.config.model_config import (
+    MoEModelConfig,
+    small_config,
+    medium_config,
+    large_config,
+    super_config,
+    small_sr_config,
+    small_lr_config,
+    PAPER_CONFIGS,
+    paper_config,
+)
+from repro.config.parallel_config import (
+    ParallelConfig,
+    ZeroStage,
+    PlacementOrder,
+)
+from repro.config.hardware import (
+    GPUSpec,
+    NodeSpec,
+    SystemSpec,
+    MI250X_GCD,
+    A100_40GB,
+    frontier_node,
+    dgx_a100_node,
+    frontier_system,
+    dgx_cluster,
+)
+from repro.config.equivalence import (
+    EquivalentPair,
+    make_equivalent_pair,
+)
+
+__all__ = [
+    "MoEModelConfig",
+    "small_config",
+    "medium_config",
+    "large_config",
+    "super_config",
+    "small_sr_config",
+    "small_lr_config",
+    "PAPER_CONFIGS",
+    "paper_config",
+    "ParallelConfig",
+    "ZeroStage",
+    "PlacementOrder",
+    "GPUSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "MI250X_GCD",
+    "A100_40GB",
+    "frontier_node",
+    "dgx_a100_node",
+    "frontier_system",
+    "dgx_cluster",
+    "EquivalentPair",
+    "make_equivalent_pair",
+]

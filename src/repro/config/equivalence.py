@@ -1,0 +1,107 @@
+"""Size-equivalent conventional vs. expert-specialized MoE pairs (Table 1).
+
+Section 3.2 of the paper compares a conventional MoE ``M_conv`` (few large
+experts, small top-k) with an expert-specialized MoE ``M_spec`` (``m``-times
+more experts, each ``m``-times narrower, top-k scaled by ``m``), keeping the
+total parameter count and the per-token activated parameter count identical.
+This module builds such pairs from a dense "base" model description, so the
+memory-bottleneck-shift analysis (Fig. 3, Table 2) can be reproduced for any
+base model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.model_config import MoEModelConfig
+
+
+@dataclass(frozen=True)
+class EquivalentPair:
+    """A size-equivalent (conventional, specialized) MoE pair."""
+
+    base_hidden: int
+    base_ffn_hidden: int
+    num_base_experts: int
+    fine_grained_factor: int
+    conventional: MoEModelConfig
+    specialized: MoEModelConfig
+
+    def __post_init__(self) -> None:
+        conv_total = self.conventional.moe_layer_expert_params()
+        spec_total = self.specialized.moe_layer_expert_params()
+        if conv_total != spec_total:
+            raise ValueError(
+                "equivalence violated: conventional and specialized expert "
+                f"parameter counts differ ({conv_total} vs {spec_total})"
+            )
+
+
+def make_equivalent_pair(
+    base_hidden: int,
+    base_ffn_hidden: int,
+    num_base_experts: int,
+    fine_grained_factor: int,
+    *,
+    seq_length: int = 2048,
+    num_layers: int = 1,
+    conventional_top_k: int = 1,
+    vocab_size: int = 51200,
+) -> EquivalentPair:
+    """Construct the ``(M_conv, M_spec)`` pair of Table 1.
+
+    Parameters
+    ----------
+    base_hidden:
+        Model dimension ``h`` of the dense base model.
+    base_ffn_hidden:
+        FFN intermediate dimension ``h'`` of the dense base model.
+    num_base_experts:
+        ``e``: number of (large) experts in the conventional MoE.
+    fine_grained_factor:
+        ``m``: how many fine-grained experts replace one conventional
+        expert.  The specialized model has ``e*m`` experts of width
+        ``h'/m`` and routes each token to ``m * conventional_top_k``
+        experts.
+    conventional_top_k:
+        Top-k of the conventional MoE (1 in Table 1).
+
+    Both models keep total expert parameters at ``2*e*h'*h`` and per-token
+    activated expert parameters at ``2*h'*h*conventional_top_k``.
+    """
+    if fine_grained_factor <= 0:
+        raise ValueError("fine_grained_factor must be positive")
+    if base_ffn_hidden % fine_grained_factor:
+        raise ValueError(
+            f"base_ffn_hidden={base_ffn_hidden} must be divisible by "
+            f"fine_grained_factor={fine_grained_factor}"
+        )
+
+    conventional = MoEModelConfig(
+        name=f"m_conv_e{num_base_experts}",
+        seq_length=seq_length,
+        hidden_size=base_hidden,
+        ffn_hidden_size=base_ffn_hidden,
+        num_experts=num_base_experts,
+        top_k=conventional_top_k,
+        num_layers=num_layers,
+        vocab_size=vocab_size,
+    )
+    specialized = MoEModelConfig(
+        name=f"m_spec_e{num_base_experts}_m{fine_grained_factor}",
+        seq_length=seq_length,
+        hidden_size=base_hidden,
+        ffn_hidden_size=base_ffn_hidden // fine_grained_factor,
+        num_experts=num_base_experts * fine_grained_factor,
+        top_k=conventional_top_k * fine_grained_factor,
+        num_layers=num_layers,
+        vocab_size=vocab_size,
+    )
+    return EquivalentPair(
+        base_hidden=base_hidden,
+        base_ffn_hidden=base_ffn_hidden,
+        num_base_experts=num_base_experts,
+        fine_grained_factor=fine_grained_factor,
+        conventional=conventional,
+        specialized=specialized,
+    )

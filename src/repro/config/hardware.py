@@ -1,0 +1,187 @@
+"""Hardware specifications for the simulated HPC platforms.
+
+Two platforms from the paper are modelled:
+
+* **Frontier** — each node holds 4 AMD MI250X packages; each package exposes
+  two Graphics Compute Dies (GCDs), each treated as one effective GPU with
+  64 GB HBM and 191.5 TFLOPs peak (half of the 383 TFLOPs dual-GCD figure).
+  The two GCDs of one MI250X are linked by Infinity Fabric at 200 GB/s,
+  GCDs on different packages of the same node at 50–100 GB/s, and nodes are
+  connected by four Slingshot NICs at 25 GB/s each.  Racks hold up to 256
+  GCDs; traffic crossing racks on the Dragonfly network is subject to
+  congestion.
+* **DGX-A100** — 8 × A100-40GB per node, NVLink 300 GB/s intra-node,
+  InfiniBand 100 GB/s inter-node (the "balanced network" the paper says
+  existing systems assume: intra/inter ratio ≈ 3x).
+
+The numbers here drive both the memory model (HBM capacity, OOM detection)
+and the communication cost model (per-tier bandwidth and latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single accelerator device.
+
+    Attributes
+    ----------
+    name: marketing name of the device.
+    memory_bytes: usable HBM capacity in bytes.
+    peak_tflops: peak dense throughput in TFLOP/s for the training dtype.
+    memory_bandwidth_gbps: HBM bandwidth in GB/s (used by the kernel model).
+    achievable_fraction: fraction of peak realistically achievable by dense
+        GEMMs on this platform (MI250X sustains a lower fraction than A100
+        for the irregular MoE workload, which is part of why baselines see
+        <10% of peak).
+    """
+
+    name: str
+    memory_bytes: int
+    peak_tflops: float
+    memory_bandwidth_gbps: float
+    achievable_fraction: float = 0.5
+
+    @property
+    def memory_gb(self) -> float:
+        return self.memory_bytes / 2**30
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A cluster node: a set of identical GPUs plus intra-node links."""
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    # Bandwidths in GB/s
+    intra_package_bw_gbps: float  # e.g. two GCDs of one MI250X
+    intra_node_bw_gbps: float  # GPUs on different packages, same node
+    inter_node_bw_gbps: float  # NIC bandwidth per GPU-pair path
+    # Latencies in microseconds
+    intra_node_latency_us: float = 5.0
+    inter_node_latency_us: float = 20.0
+    gpus_per_package: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.gpus_per_package <= 0 or self.gpus_per_node % self.gpus_per_package:
+            raise ValueError(
+                "gpus_per_package must divide gpus_per_node "
+                f"({self.gpus_per_package} vs {self.gpus_per_node})"
+            )
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A full system: many nodes grouped into racks/groups.
+
+    ``gpus_per_rack`` bounds the number of GPUs reachable without crossing
+    the Dragonfly global links; the paper observes that collectives spanning
+    more than one rack (>256 GCDs on Frontier) suffer congestion outliers.
+    """
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+    gpus_per_rack: int
+    cross_rack_bw_gbps: float
+    cross_rack_latency_us: float = 40.0
+    congestion_outlier_prob: float = 0.05
+    congestion_outlier_factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.gpus_per_rack % self.node.gpus_per_node:
+            raise ValueError("gpus_per_rack must be a multiple of gpus_per_node")
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    @property
+    def nodes_per_rack(self) -> int:
+        return self.gpus_per_rack // self.node.gpus_per_node
+
+
+# ----------------------------------------------------------------------
+# Device presets
+# ----------------------------------------------------------------------
+MI250X_GCD = GPUSpec(
+    name="MI250X-GCD",
+    memory_bytes=64 * 2**30,
+    peak_tflops=191.5,
+    memory_bandwidth_gbps=1600.0,
+    achievable_fraction=0.33,
+)
+
+A100_40GB = GPUSpec(
+    name="A100-40GB",
+    memory_bytes=40 * 2**30,
+    peak_tflops=312.0,
+    memory_bandwidth_gbps=1555.0,
+    achievable_fraction=0.45,
+)
+
+
+def frontier_node() -> NodeSpec:
+    """One Frontier node: 4 MI250X = 8 GCDs."""
+    return NodeSpec(
+        name="frontier-node",
+        gpu=MI250X_GCD,
+        gpus_per_node=8,
+        gpus_per_package=2,
+        intra_package_bw_gbps=200.0,
+        intra_node_bw_gbps=75.0,
+        inter_node_bw_gbps=25.0,
+        intra_node_latency_us=5.0,
+        inter_node_latency_us=20.0,
+    )
+
+
+def dgx_a100_node() -> NodeSpec:
+    """One DGX-A100 node: 8 × A100-40GB with NVLink."""
+    return NodeSpec(
+        name="dgx-a100",
+        gpu=A100_40GB,
+        gpus_per_node=8,
+        gpus_per_package=8,
+        intra_package_bw_gbps=300.0,
+        intra_node_bw_gbps=300.0,
+        inter_node_bw_gbps=100.0,
+        intra_node_latency_us=3.0,
+        inter_node_latency_us=10.0,
+    )
+
+
+def frontier_system(num_nodes: int = 128) -> SystemSpec:
+    """A Frontier partition of ``num_nodes`` nodes (default 128 = 1024 GCDs)."""
+    return SystemSpec(
+        name="frontier",
+        node=frontier_node(),
+        num_nodes=num_nodes,
+        gpus_per_rack=256,
+        cross_rack_bw_gbps=12.5,
+        cross_rack_latency_us=40.0,
+        congestion_outlier_prob=0.05,
+        congestion_outlier_factor=10.0,
+    )
+
+
+def dgx_cluster(num_nodes: int = 1) -> SystemSpec:
+    """A small DGX-A100 cluster (default a single 8-GPU node, as in Table 5)."""
+    return SystemSpec(
+        name="dgx-a100-cluster",
+        node=dgx_a100_node(),
+        num_nodes=num_nodes,
+        gpus_per_rack=max(8 * num_nodes, 8),
+        cross_rack_bw_gbps=100.0,
+        cross_rack_latency_us=15.0,
+        congestion_outlier_prob=0.0,
+        congestion_outlier_factor=1.0,
+    )

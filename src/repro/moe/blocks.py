@@ -1,0 +1,96 @@
+"""Dense transformer building blocks (non-MoE parts of the model).
+
+The MoE transformer used for the loss-validation experiment needs embedding,
+layer norm, causal self-attention, and a dense FFN; these are implemented on
+the autograd substrate with deterministic initialization so two pipelines
+can share bit-identical dense weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+from repro.tensor import ops
+from repro.tensor.init import ones_init, zeros_init
+
+
+class Linear:
+    """Bias-free linear projection ``y = x @ W``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        std = 1.0 / np.sqrt(in_features)
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(in_features, out_features)), requires_grad=True
+        )
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return x @ self.weight
+
+    def parameters(self) -> list[Tensor]:
+        return [self.weight]
+
+
+class LayerNorm:
+    """Layer normalization with learnable scale and offset."""
+
+    def __init__(self, hidden_size: int):
+        self.weight = ones_init((hidden_size,))
+        self.bias = zeros_init((hidden_size,))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return ops.layer_norm(x, self.weight, self.bias)
+
+    def parameters(self) -> list[Tensor]:
+        return [self.weight, self.bias]
+
+
+class CausalSelfAttention:
+    """Single-head causal self-attention over a ``[S, H]`` sequence.
+
+    A single head keeps the tiny validation model cheap; the performance
+    model accounts for full multi-head attention FLOPs separately, so this
+    simplification does not affect any reported number.
+    """
+
+    def __init__(self, hidden_size: int, rng: np.random.Generator):
+        self.hidden_size = hidden_size
+        self.q_proj = Linear(hidden_size, hidden_size, rng)
+        self.k_proj = Linear(hidden_size, hidden_size, rng)
+        self.v_proj = Linear(hidden_size, hidden_size, rng)
+        self.o_proj = Linear(hidden_size, hidden_size, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        if x.ndim != 2:
+            raise ValueError(f"expected [S, H] input, got {x.shape}")
+        s = x.shape[0]
+        q = self.q_proj(x)
+        k = self.k_proj(x)
+        v = self.v_proj(x)
+        scores = (q @ k.T) * (1.0 / np.sqrt(self.hidden_size))
+        # Additive causal mask.
+        mask = np.triu(np.full((s, s), -1e9), k=1)
+        scores = scores + Tensor(mask)
+        attn = ops.softmax(scores, axis=-1)
+        out = attn @ v
+        return self.o_proj(out)
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        for proj in (self.q_proj, self.k_proj, self.v_proj, self.o_proj):
+            params.extend(proj.parameters())
+        return params
+
+
+class DenseFFN:
+    """Standard two-layer FFN used in non-MoE layers."""
+
+    def __init__(self, hidden_size: int, ffn_hidden_size: int, rng: np.random.Generator):
+        self.up = Linear(hidden_size, ffn_hidden_size, rng)
+        self.down = Linear(ffn_hidden_size, hidden_size, rng)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.down(ops.silu(self.up(x)))
+
+    def parameters(self) -> list[Tensor]:
+        return self.up.parameters() + self.down.parameters()

@@ -1,0 +1,120 @@
+"""Banks of fine-grained expert FFNs.
+
+An :class:`ExpertBank` holds the weights of all (local) experts of one MoE
+layer as stacked arrays ``w1: [E, H, F]`` and ``w2: [E, F, H]`` so that both
+execution styles the paper compares can run on the same weights:
+
+* **Padded batched matmul** (baseline): a single ``[E, C, H] @ [E, H, F]``
+  batched GEMM over fixed-capacity buffers, zero-padding included.
+* **Sequential GEMM** (X-MoE, §4.1.2): one GEMM per expert over exactly the
+  tokens routed to it, no padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+from repro.tensor import ops
+
+
+class ExpertBank:
+    """Weights and execution helpers for the experts of one MoE layer."""
+
+    def __init__(
+        self,
+        num_experts: int,
+        hidden_size: int,
+        ffn_hidden_size: int,
+        *,
+        rng: np.random.Generator | None = None,
+        activation: str = "silu",
+    ):
+        if num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.num_experts = num_experts
+        self.hidden_size = hidden_size
+        self.ffn_hidden_size = ffn_hidden_size
+        self.activation = activation
+        std_in = 1.0 / np.sqrt(hidden_size)
+        std_out = 1.0 / np.sqrt(ffn_hidden_size)
+        self.w1 = Tensor(
+            rng.normal(0.0, std_in, size=(num_experts, hidden_size, ffn_hidden_size)),
+            requires_grad=True,
+        )
+        self.w2 = Tensor(
+            rng.normal(0.0, std_out, size=(num_experts, ffn_hidden_size, hidden_size)),
+            requires_grad=True,
+        )
+
+    def parameters(self) -> list[Tensor]:
+        return [self.w1, self.w2]
+
+    @property
+    def params_per_expert(self) -> int:
+        return 2 * self.hidden_size * self.ffn_hidden_size
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "silu":
+            return ops.silu(x)
+        if self.activation == "relu":
+            return ops.relu(x)
+        if self.activation == "gelu":
+            return ops.gelu(x)
+        raise ValueError(f"unknown activation {self.activation!r}")
+
+    # ------------------------------------------------------------------
+    def forward_expert(self, expert_id: int, tokens: Tensor) -> Tensor:
+        """Run a single expert's two-layer FFN over ``tokens`` ``[n, H]``."""
+        if not (0 <= expert_id < self.num_experts):
+            raise ValueError(f"expert_id {expert_id} out of range")
+        h = tokens @ self.w1[expert_id]
+        h = self._activate(h)
+        return h @ self.w2[expert_id]
+
+    def forward_padded(self, expert_inputs: Tensor) -> Tensor:
+        """Batched execution over fixed-capacity buffers ``[E, C, H]``.
+
+        Zero-padded rows produce zero outputs (before bias-free projections),
+        reproducing the baseline's wasted FLOPs without changing results.
+        """
+        if expert_inputs.ndim != 3 or expert_inputs.shape[0] != self.num_experts:
+            raise ValueError(
+                f"expected [E={self.num_experts}, C, H] inputs, got {expert_inputs.shape}"
+            )
+        h = expert_inputs @ self.w1  # [E, C, F]
+        h = self._activate(h)
+        return h @ self.w2  # [E, C, H]
+
+    def forward_sequential(
+        self, tokens: Tensor, tokens_per_expert: np.ndarray
+    ) -> Tensor:
+        """Sequential-GEMM execution over a padding-free token buffer.
+
+        ``tokens`` is ``[B, H]`` with tokens grouped by expert id (ascending)
+        and ``tokens_per_expert[e]`` gives each group's length.  Only experts
+        with at least one token launch a GEMM, exactly like the loop in
+        §4.1.2 of the paper.
+        """
+        tokens_per_expert = np.asarray(tokens_per_expert, dtype=np.int64)
+        if tokens_per_expert.size != self.num_experts:
+            raise ValueError(
+                f"tokens_per_expert has {tokens_per_expert.size} entries, "
+                f"expected {self.num_experts}"
+            )
+        if tokens_per_expert.sum() != tokens.shape[0]:
+            raise ValueError(
+                f"tokens_per_expert sums to {tokens_per_expert.sum()} but buffer "
+                f"has {tokens.shape[0]} rows"
+            )
+        offsets = np.concatenate([[0], np.cumsum(tokens_per_expert)])
+        outputs: list[Tensor] = []
+        for e in range(self.num_experts):
+            lo, hi = int(offsets[e]), int(offsets[e + 1])
+            if hi == lo:
+                continue
+            outputs.append(self.forward_expert(e, tokens[lo:hi]))
+        if not outputs:
+            return Tensor(np.zeros((0, self.hidden_size)))
+        return ops.concat(outputs, axis=0)

@@ -1,0 +1,142 @@
+"""Top-k gating for expert-specialized MoE layers.
+
+The gate projects each token to per-expert logits, applies a softmax, and
+selects the ``k`` highest-scoring experts per token (§2, §4.1 of the paper).
+Two token-dropping policies are provided, matching the subtle difference the
+paper discovered while validating loss curves (§5.6):
+
+* :attr:`DropPolicy.SCORE_THRESHOLD` — DeepSpeed-MoE behaviour: a token is
+  dropped from an expert when its (pre-softmax) routing score is negative,
+  regardless of whether the capacity is exceeded.
+* :attr:`DropPolicy.CAPACITY_ONLY` — X-MoE behaviour: tokens are dropped
+  only when they exceed the expert capacity, so more tokens survive.
+
+The gate also computes the standard load-balancing auxiliary loss
+(Switch-Transformer style), which both pipelines add to the LM loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+from repro.tensor import ops
+
+
+class DropPolicy(enum.Enum):
+    """Which tokens are eligible to be dropped by the dispatcher."""
+
+    CAPACITY_ONLY = "capacity-only"
+    SCORE_THRESHOLD = "score-threshold"
+
+
+@dataclass
+class GateOutput:
+    """Everything downstream dispatch stages need from the gate.
+
+    Attributes
+    ----------
+    logits:
+        Raw router logits, ``[S, E]`` tensor (kept for the aux loss).
+    probs:
+        Softmax probabilities, ``[S, E]`` tensor (differentiable).
+    top_experts:
+        ``[S, k]`` integer array of selected expert ids per token.
+    top_scores:
+        ``[S, k]`` float array of the corresponding probabilities
+        (detached; combine weighting re-reads the differentiable ``probs``).
+    drop_eligible:
+        ``[S, k]`` boolean array; ``True`` marks (token, slot) assignments
+        that the SCORE_THRESHOLD policy forcibly drops.
+    aux_loss:
+        Scalar tensor with the load-balancing auxiliary loss.
+    """
+
+    logits: Tensor
+    probs: Tensor
+    top_experts: np.ndarray
+    top_scores: np.ndarray
+    drop_eligible: np.ndarray
+    aux_loss: Tensor
+
+
+class TopKGate:
+    """Router: linear projection + softmax + top-k selection."""
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        top_k: int,
+        *,
+        rng: np.random.Generator | None = None,
+        drop_policy: DropPolicy = DropPolicy.CAPACITY_ONLY,
+        aux_loss_coef: float = 0.01,
+    ):
+        if not (1 <= top_k <= num_experts):
+            raise ValueError(f"top_k={top_k} must be in [1, {num_experts}]")
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.drop_policy = drop_policy
+        self.aux_loss_coef = aux_loss_coef
+        std = 1.0 / np.sqrt(hidden_size)
+        self.weight = Tensor(
+            rng.normal(0.0, std, size=(hidden_size, num_experts)), requires_grad=True
+        )
+
+    def parameters(self) -> list[Tensor]:
+        return [self.weight]
+
+    def __call__(self, tokens: Tensor) -> GateOutput:
+        """Route ``tokens`` (a ``[S, H]`` tensor)."""
+        if tokens.ndim != 2 or tokens.shape[1] != self.hidden_size:
+            raise ValueError(
+                f"expected [S, {self.hidden_size}] tokens, got {tokens.shape}"
+            )
+        logits = tokens @ self.weight
+        probs = ops.softmax(logits, axis=-1)
+        top_scores, top_experts = ops.topk(probs, self.top_k, axis=-1)
+
+        if self.drop_policy is DropPolicy.SCORE_THRESHOLD:
+            # DeepSpeed-MoE: assignments whose raw routing score is negative
+            # are dropped outright even if capacity remains.
+            raw = np.take_along_axis(logits.data, top_experts, axis=-1)
+            drop_eligible = raw < 0.0
+        else:
+            drop_eligible = np.zeros_like(top_experts, dtype=bool)
+
+        aux_loss = self._load_balancing_loss(probs, top_experts)
+        return GateOutput(
+            logits=logits,
+            probs=probs,
+            top_experts=top_experts,
+            top_scores=top_scores,
+            drop_eligible=drop_eligible,
+            aux_loss=aux_loss,
+        )
+
+    # ------------------------------------------------------------------
+    def _load_balancing_loss(self, probs: Tensor, top_experts: np.ndarray) -> Tensor:
+        """Switch-Transformer load-balancing loss: ``E * sum(f_e * P_e)``.
+
+        ``f_e`` is the fraction of (token, slot) assignments routed to expert
+        ``e`` and ``P_e`` the mean router probability of expert ``e``.
+        """
+        s = probs.shape[0]
+        counts = np.bincount(
+            top_experts.reshape(-1), minlength=self.num_experts
+        ).astype(np.float64)
+        fraction = counts / max(1, top_experts.size)
+        mean_probs = probs.mean(axis=0)  # [E]
+        weighted = mean_probs * Tensor(fraction)
+        return weighted.sum() * (self.aux_loss_coef * self.num_experts)
+
+    # ------------------------------------------------------------------
+    def expert_load(self, top_experts: np.ndarray) -> np.ndarray:
+        """Tokens routed to each expert (histogram over all k slots)."""
+        return np.bincount(top_experts.reshape(-1), minlength=self.num_experts)

@@ -1,0 +1,59 @@
+"""Minimal reverse-mode autograd over numpy.
+
+This is the training substrate standing in for PyTorch: enough of an
+autodiff engine to train the tiny MoE transformer used for the loss-curve
+validation experiment (Fig. 15) and to exercise the forward/backward of the
+padded and padding-free MoE pipelines end to end.
+
+Public API:
+
+* :class:`repro.tensor.autograd.Tensor` plus free functions in
+  :mod:`repro.tensor.ops` (matmul, softmax, layernorm, silu, gelu,
+  embedding, cross-entropy, top-k, gather/scatter rows, ...).
+* :mod:`repro.tensor.optim` — SGD and Adam.
+* :mod:`repro.tensor.init` — parameter initializers.
+"""
+
+from repro.tensor.autograd import Tensor, no_grad
+from repro.tensor import ops
+from repro.tensor.ops import (
+    matmul,
+    relu,
+    silu,
+    gelu,
+    softmax,
+    log_softmax,
+    layer_norm,
+    embedding,
+    cross_entropy,
+    gather_rows,
+    scatter_rows,
+    concat,
+    stack,
+)
+from repro.tensor.optim import SGD, Adam
+from repro.tensor.init import normal_init, scaled_init, zeros_init
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "ops",
+    "matmul",
+    "relu",
+    "silu",
+    "gelu",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "embedding",
+    "cross_entropy",
+    "gather_rows",
+    "scatter_rows",
+    "concat",
+    "stack",
+    "SGD",
+    "Adam",
+    "normal_init",
+    "scaled_init",
+    "zeros_init",
+]

@@ -1,0 +1,36 @@
+"""Parameter initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so that
+two pipelines (e.g. the padded baseline and the padding-free X-MoE pipeline
+in the loss-validation experiment) can be initialized bit-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+
+
+def normal_init(
+    rng: np.random.Generator, shape: tuple[int, ...], std: float = 0.02
+) -> Tensor:
+    """Gaussian-initialized trainable parameter."""
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def scaled_init(rng: np.random.Generator, shape: tuple[int, ...]) -> Tensor:
+    """Fan-in scaled Gaussian init (1/sqrt(fan_in)), for projection matrices."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    std = 1.0 / np.sqrt(max(1, fan_in))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def zeros_init(shape: tuple[int, ...]) -> Tensor:
+    """Zero-initialized trainable parameter (biases, layer-norm offsets)."""
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def ones_init(shape: tuple[int, ...]) -> Tensor:
+    """One-initialized trainable parameter (layer-norm scales)."""
+    return Tensor(np.ones(shape), requires_grad=True)

@@ -1,0 +1,115 @@
+"""Optimizers operating on lists of :class:`~repro.tensor.autograd.Tensor`.
+
+Adam mirrors the DeepSpeed default hyperparameters; both optimizers expose a
+``state_bytes`` property used by the memory model to account for optimizer
+states (the quantity ZeRO-1 partitions across data-parallel ranks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.autograd import Tensor
+
+
+class Optimizer:
+    """Base class: holds parameters and implements zero_grad."""
+
+    def __init__(self, params: list[Tensor]):
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer needs at least one parameter")
+        for p in params:
+            if not p.requires_grad:
+                raise ValueError("all optimized parameters must require grad")
+        self.params = params
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state held by this optimizer."""
+        return 0
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params: list[Tensor], lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params] if momentum else None
+
+    def step(self) -> None:
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            update = p.grad
+            if self._velocity is not None:
+                self._velocity[i] = self.momentum * self._velocity[i] + update
+                update = self._velocity[i]
+            p.data -= self.lr * update
+
+    @property
+    def state_bytes(self) -> int:
+        if self._velocity is None:
+            return 0
+        return sum(v.nbytes for v in self._velocity)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (DeepSpeed/Megatron default settings)."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._step = 0
+
+    def step(self) -> None:
+        self._step += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._step
+        bias2 = 1.0 - b2**self._step
+        for i, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    @property
+    def state_bytes(self) -> int:
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))

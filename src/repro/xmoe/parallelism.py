@@ -1,0 +1,150 @@
+"""Hybrid-parallelism planning: placement, expert maps, and group layout.
+
+Appendix C.1 of the paper analyzes where EP and DP ranks should sit on a
+hierarchical machine:
+
+* **EP-first** placement puts all experts of one replica on consecutive
+  ranks (within a node when EP ≤ node size), so EP all-to-all stays local
+  but DP gradient synchronization crosses nodes.
+* **DP-first** placement puts the replicas of the same expert on consecutive
+  ranks, so DP gradient all-reduce stays intra-node while the EP all-to-all
+  crosses nodes.
+
+Which wins depends on how much data each collective moves; on Frontier, for
+large MoEs, DP-first wins because gradient volume scales with parameters
+while the all-to-all volume scales only with the (much smaller) activations.
+:func:`plan_placement` evaluates both against the network model and picks
+the cheaper one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import Topology
+from repro.config.model_config import MoEModelConfig
+from repro.config.parallel_config import ParallelConfig, PlacementOrder
+
+
+def expert_to_rank_map(num_experts: int, ep_size: int) -> np.ndarray:
+    """Contiguous block mapping of experts to EP-group-local ranks."""
+    if ep_size <= 0:
+        raise ValueError("ep_size must be positive")
+    if num_experts % ep_size:
+        raise ValueError(
+            f"num_experts={num_experts} must be divisible by ep_size={ep_size}"
+        )
+    per_rank = num_experts // ep_size
+    return np.repeat(np.arange(ep_size), per_rank)
+
+
+def build_parallel_groups(
+    parallel: ParallelConfig, placement: PlacementOrder | None = None
+) -> dict[str, list[list[int]]]:
+    """Rank lists for every EP group and every expert-DP group.
+
+    With ``EP_FIRST`` placement, consecutive global ranks form an EP group
+    (``[0..ep-1], [ep..2ep-1], ...``) and rank ``i`` of every EP group forms
+    an expert-DP group.  With ``DP_FIRST`` the roles are swapped: consecutive
+    ranks replicate the same experts (an expert-DP group) and EP groups
+    stride across them.
+    """
+    placement = placement or parallel.placement
+    world = parallel.world_size
+    ep = parallel.ep_size
+    edp = parallel.edp_size
+    ranks = np.arange(world)
+    if placement is PlacementOrder.EP_FIRST:
+        grid = ranks.reshape(edp, ep)  # row = one EP group
+        ep_groups = [list(map(int, row)) for row in grid]
+        dp_groups = [list(map(int, grid[:, j])) for j in range(ep)]
+    else:
+        grid = ranks.reshape(ep, edp)  # row = one expert-DP group
+        dp_groups = [list(map(int, row)) for row in grid]
+        ep_groups = [list(map(int, grid[:, j])) for j in range(edp)]
+    return {"ep_groups": ep_groups, "expert_dp_groups": dp_groups}
+
+
+@dataclass
+class PlacementPlan:
+    """Result of evaluating a placement order on a given machine."""
+
+    placement: PlacementOrder
+    ep_alltoall_seconds: float
+    dp_allreduce_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.ep_alltoall_seconds + self.dp_allreduce_seconds
+
+
+def _evaluate_placement(
+    placement: PlacementOrder,
+    model: MoEModelConfig,
+    parallel: ParallelConfig,
+    network: NetworkModel,
+    *,
+    tokens_per_rank: int,
+) -> PlacementPlan:
+    """Estimate per-step EP all-to-all and DP all-reduce time for a placement."""
+    groups = build_parallel_groups(parallel, placement)
+    dtype = model.dtype_bytes
+
+    # EP all-to-all: each rank sends k * tokens * H bytes spread over the
+    # group, four times per MoE layer (dispatch + combine, fwd + bwd).
+    ep_group = np.asarray(groups["ep_groups"][0])
+    a2a_bytes_per_pair = (
+        model.top_k * tokens_per_rank * model.hidden_size * dtype / max(1, ep_group.size)
+    )
+    traffic = np.full((ep_group.size, ep_group.size), a2a_bytes_per_pair)
+    np.fill_diagonal(traffic, 0.0)
+    a2a = network.alltoall_time(traffic, ep_group)
+    ep_seconds = 4.0 * model.num_moe_layers * a2a.seconds
+
+    # DP all-reduce: expert gradients reduced across the expert-DP group
+    # once per step.
+    dp_group = np.asarray(groups["expert_dp_groups"][0])
+    expert_grad_bytes = (
+        model.num_moe_layers
+        * model.moe_layer_expert_params()
+        / parallel.ep_size
+        * dtype
+    )
+    ar = network.allreduce_time(int(expert_grad_bytes), dp_group)
+    return PlacementPlan(
+        placement=placement,
+        ep_alltoall_seconds=ep_seconds,
+        dp_allreduce_seconds=ar.seconds,
+    )
+
+
+def plan_placement(
+    model: MoEModelConfig,
+    parallel: ParallelConfig,
+    topology: Topology,
+    *,
+    tokens_per_rank: int | None = None,
+    seed: int | None = 0,
+) -> tuple[PlacementPlan, PlacementPlan, PlacementOrder]:
+    """Evaluate EP-first vs DP-first placement and return the winner.
+
+    Returns ``(ep_first_plan, dp_first_plan, recommended)``.
+    """
+    network = NetworkModel(topology, seed=seed)
+    if tokens_per_rank is None:
+        tokens_per_rank = parallel.micro_batch_size * model.seq_length
+    ep_first = _evaluate_placement(
+        PlacementOrder.EP_FIRST, model, parallel, network, tokens_per_rank=tokens_per_rank
+    )
+    dp_first = _evaluate_placement(
+        PlacementOrder.DP_FIRST, model, parallel, network, tokens_per_rank=tokens_per_rank
+    )
+    recommended = (
+        PlacementOrder.EP_FIRST
+        if ep_first.total_seconds <= dp_first.total_seconds
+        else PlacementOrder.DP_FIRST
+    )
+    return ep_first, dp_first, recommended

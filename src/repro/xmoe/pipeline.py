@@ -1,0 +1,308 @@
+"""The padding-free MoE pipeline.
+
+Two implementations live here:
+
+* :class:`PaddingFreeMoELayer` — the single-process autograd version that
+  plugs into :class:`~repro.moe.transformer.MoETransformerLM`.  It follows
+  Listing 1 exactly: gating → PFT construction → gather → sequential GEMM →
+  weighted scatter, with no zero padding anywhere.  It trains the
+  loss-validation model (Fig. 15) against the padded baseline.
+* :class:`DistributedMoEDispatcher` — the multi-rank (numpy) version that
+  performs the real uneven all-to-all exchanges over a
+  :class:`~repro.comm.process_group.ProcessGroup`, used to validate the
+  dispatch/combine plumbing across ranks and as the substrate RBD plugs
+  into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.deepspeed_moe import compute_capacity
+from repro.comm.process_group import ProcessGroup
+from repro.moe.experts import ExpertBank
+from repro.moe.gating import TopKGate
+from repro.tensor import ops
+from repro.tensor.autograd import Tensor
+from repro.xmoe.kernels import gather_kernel, scatter_kernel, sequential_gemm
+from repro.xmoe.pft import PFT, build_pft
+
+
+@dataclass
+class PaddingFreeStats:
+    """Bookkeeping from one padding-free forward pass."""
+
+    num_tokens: int
+    num_routed_tokens: int
+    capacity: int
+    num_experts: int
+    hidden_size: int
+    dropped_assignments: int
+    dtype_bytes: int = 8
+
+    @property
+    def dispatch_buffer_bytes(self) -> int:
+        """Bytes of the padding-free dispatched token buffer (``B * H``)."""
+        return self.num_routed_tokens * self.hidden_size * self.dtype_bytes
+
+    @property
+    def alltoall_bytes(self) -> int:
+        """Bytes one dispatch all-to-all moves (only real tokens travel)."""
+        return self.dispatch_buffer_bytes
+
+    @property
+    def padding_fraction(self) -> float:
+        """Always zero — kept for symmetry with the padded baseline stats."""
+        return 0.0
+
+
+class PaddingFreeMoELayer:
+    """Single-process functional X-MoE layer (Listing 1 semantics)."""
+
+    def __init__(
+        self,
+        gate: TopKGate,
+        experts: ExpertBank,
+        capacity_factor: float = 1.25,
+    ):
+        if gate.num_experts != experts.num_experts:
+            raise ValueError("gate and expert bank disagree on the expert count")
+        self.gate = gate
+        self.experts = experts
+        self.capacity_factor = capacity_factor
+        self.last_stats: PaddingFreeStats | None = None
+        self.last_pft: PFT | None = None
+
+    def parameters(self) -> list[Tensor]:
+        return self.gate.parameters() + self.experts.parameters()
+
+    def __call__(self, tokens: Tensor) -> tuple[Tensor, Tensor]:
+        """Forward ``[S, H]`` tokens; returns ``(output, aux_loss)``."""
+        gate_out = self.gate(tokens)
+        s, h = tokens.shape
+        e = self.gate.num_experts
+        k = self.gate.top_k
+        capacity = compute_capacity(s, k, e, self.capacity_factor)
+
+        pft = build_pft(capacity, gate_out.top_experts, gate_out.top_scores, e)
+        self.last_pft = pft
+
+        # Dispatch: gather routed tokens into an expert-grouped buffer.
+        dispatched = ops.gather_rows(tokens, pft.token_ids)
+        # Experts: one GEMM per expert over exactly its tokens.
+        expert_out = self.experts.forward_sequential(dispatched, pft.tokens_per_expert)
+        # Combine: scatter back to sequence positions, scaled by gate probs.
+        combine_weights = gate_out.probs[pft.token_ids, pft.expert_ids]
+        output = ops.scatter_rows(expert_out, pft.token_ids, s, weights=combine_weights)
+
+        self.last_stats = PaddingFreeStats(
+            num_tokens=s,
+            num_routed_tokens=pft.num_routed_tokens,
+            capacity=capacity,
+            num_experts=e,
+            hidden_size=h,
+            dropped_assignments=pft.dropped_assignments,
+        )
+        return output, gate_out.aux_loss
+
+
+# ----------------------------------------------------------------------
+# Distributed (multi-rank) dispatch over a ProcessGroup
+# ----------------------------------------------------------------------
+@dataclass
+class _DispatchState:
+    """Everything the combine stage needs to reverse a dispatch."""
+
+    pfts: list[PFT]
+    send_orders: list[np.ndarray]
+    send_splits: list[np.ndarray]
+    recv_splits: list[np.ndarray]
+    recv_expert_ids: list[np.ndarray]
+    recv_sort_orders: list[np.ndarray]
+    tokens_per_local_expert: list[np.ndarray]
+
+
+class DistributedMoEDispatcher:
+    """Uneven all-to-all dispatch/combine of PFT buffers across EP ranks.
+
+    Parameters
+    ----------
+    group:
+        The expert-parallel process group.
+    num_experts:
+        Global number of experts in the layer.
+    expert_to_rank:
+        Length-``num_experts`` array mapping each expert to the group-local
+        rank that hosts it (defaults to a contiguous block mapping).
+    """
+
+    def __init__(
+        self,
+        group: ProcessGroup,
+        num_experts: int,
+        expert_to_rank: np.ndarray | None = None,
+    ):
+        self.group = group
+        self.num_experts = num_experts
+        if expert_to_rank is None:
+            if num_experts % group.size:
+                raise ValueError(
+                    f"num_experts={num_experts} not divisible by EP size {group.size}"
+                )
+            per_rank = num_experts // group.size
+            expert_to_rank = np.repeat(np.arange(group.size), per_rank)
+        expert_to_rank = np.asarray(expert_to_rank, dtype=np.int64)
+        if expert_to_rank.size != num_experts:
+            raise ValueError("expert_to_rank must have one entry per expert")
+        if expert_to_rank.min() < 0 or expert_to_rank.max() >= group.size:
+            raise ValueError("expert_to_rank entries out of range for the group")
+        self.expert_to_rank = expert_to_rank
+        # Local (per-hosting-rank) index of each expert.
+        self.local_expert_index = np.zeros(num_experts, dtype=np.int64)
+        for r in range(group.size):
+            experts_on_r = np.flatnonzero(expert_to_rank == r)
+            self.local_expert_index[experts_on_r] = np.arange(experts_on_r.size)
+
+    def experts_on_rank(self, local_rank: int) -> np.ndarray:
+        """Global ids of the experts hosted by a group-local rank."""
+        return np.flatnonzero(self.expert_to_rank == local_rank)
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        per_rank_tokens: list[np.ndarray],
+        per_rank_pfts: list[PFT],
+    ) -> tuple[list[np.ndarray], _DispatchState]:
+        """Route every rank's PFT tokens to the ranks hosting their experts.
+
+        Returns ``(expert_inputs, state)`` where ``expert_inputs[r]`` is the
+        ``[B_r, H]`` buffer of tokens rank ``r``'s experts must process,
+        grouped by (local) expert id, and ``state`` carries the metadata the
+        combine stage needs.
+        """
+        size = self.group.size
+        if len(per_rank_tokens) != size or len(per_rank_pfts) != size:
+            raise ValueError("need one token buffer and one PFT per group rank")
+
+        send_buffers: list[np.ndarray] = []
+        send_expert_ids: list[np.ndarray] = []
+        send_orders: list[np.ndarray] = []
+        send_splits: list[np.ndarray] = []
+        for r in range(size):
+            pft = per_rank_pfts[r]
+            tokens = per_rank_tokens[r]
+            gathered = gather_kernel(tokens, pft.token_ids)
+            dest_rank = self.expert_to_rank[pft.expert_ids]
+            # Order rows by destination rank, then expert id, then source
+            # position so the alltoallv splits are contiguous.
+            order = np.lexsort((pft.token_ids, pft.expert_ids, dest_rank))
+            send_orders.append(order)
+            send_buffers.append(gathered[order])
+            send_expert_ids.append(pft.expert_ids[order])
+            splits = np.bincount(dest_rank, minlength=size).astype(np.int64)
+            send_splits.append(splits)
+
+        recv_buffers, recv_splits = self.group.alltoallv(
+            send_buffers, send_splits, op_name="dispatch_a2a"
+        )
+        recv_expert_buffers, _ = self.group.alltoallv(
+            [ids.reshape(-1, 1) for ids in send_expert_ids],
+            send_splits,
+            op_name="dispatch_meta_a2a",
+        )
+
+        expert_inputs: list[np.ndarray] = []
+        recv_expert_ids: list[np.ndarray] = []
+        recv_sort_orders: list[np.ndarray] = []
+        tokens_per_local_expert: list[np.ndarray] = []
+        for r in range(size):
+            expert_ids_r = recv_expert_buffers[r].reshape(-1).astype(np.int64)
+            # Group the inbound tokens by expert so the sequential GEMM can
+            # process one contiguous segment per local expert.
+            sort_order = np.argsort(expert_ids_r, kind="stable")
+            expert_inputs.append(recv_buffers[r][sort_order])
+            recv_expert_ids.append(expert_ids_r)
+            recv_sort_orders.append(sort_order)
+            local_experts = self.experts_on_rank(r)
+            counts = np.bincount(expert_ids_r, minlength=self.num_experts)
+            tokens_per_local_expert.append(counts[local_experts].astype(np.int64))
+
+        state = _DispatchState(
+            pfts=list(per_rank_pfts),
+            send_orders=send_orders,
+            send_splits=send_splits,
+            recv_splits=recv_splits,
+            recv_expert_ids=recv_expert_ids,
+            recv_sort_orders=recv_sort_orders,
+            tokens_per_local_expert=tokens_per_local_expert,
+        )
+        return expert_inputs, state
+
+    # ------------------------------------------------------------------
+    def combine(
+        self,
+        per_rank_expert_outputs: list[np.ndarray],
+        state: _DispatchState,
+        num_tokens_per_rank: list[int],
+    ) -> list[np.ndarray]:
+        """Return expert outputs to their source ranks and sequence slots."""
+        size = self.group.size
+        if len(per_rank_expert_outputs) != size:
+            raise ValueError("need one expert-output buffer per group rank")
+
+        # Undo the by-expert sort so rows line up with the dispatch receive
+        # order, then alltoallv back using the transposed splits.
+        send_back: list[np.ndarray] = []
+        for r in range(size):
+            out = per_rank_expert_outputs[r]
+            unsort = np.empty_like(state.recv_sort_orders[r])
+            unsort[state.recv_sort_orders[r]] = np.arange(unsort.size)
+            send_back.append(out[unsort])
+
+        returned, _ = self.group.alltoallv(
+            send_back, state.recv_splits, op_name="combine_a2a"
+        )
+
+        outputs: list[np.ndarray] = []
+        for r in range(size):
+            pft = state.pfts[r]
+            order = state.send_orders[r]
+            # Rows come back in the order we sent them; map to PFT order.
+            restored = np.empty_like(returned[r])
+            restored[np.arange(order.size)] = returned[r]
+            pft_order_outputs = np.empty_like(returned[r])
+            pft_order_outputs[order] = restored
+            combined = scatter_kernel(
+                pft_order_outputs,
+                pft.token_ids,
+                pft.combine_weights,
+                num_tokens_per_rank[r],
+            )
+            outputs.append(combined)
+        return outputs
+
+    # ------------------------------------------------------------------
+    def run_experts(
+        self,
+        expert_inputs: list[np.ndarray],
+        state: _DispatchState,
+        per_rank_w1: list[np.ndarray],
+        per_rank_w2: list[np.ndarray],
+        *,
+        activation: str = "silu",
+    ) -> list[np.ndarray]:
+        """Run each rank's local experts over its grouped input buffer."""
+        outputs = []
+        for r in range(self.group.size):
+            outputs.append(
+                sequential_gemm(
+                    expert_inputs[r],
+                    per_rank_w1[r],
+                    per_rank_w2[r],
+                    state.tokens_per_local_expert[r],
+                    activation=activation,
+                )
+            )
+        return outputs

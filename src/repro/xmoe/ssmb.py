@@ -1,0 +1,172 @@
+"""Sequence-Sharded MoE Blocks (SSMB), §4.3.
+
+Under TP + EP hybrid parallelism every tensor-parallel rank holds a full
+copy of the input sequence, so the dominant activations of an
+expert-specialized MoE layer (``A_dispatch`` and ``A_combine``) are
+duplicated across the TP group and none of TP, EP, or ZeRO-DP shrinks them.
+SSMB exploits the fact that every operation in the MoE block is token-wise:
+each TP rank *drops* all but its ``1/G`` slice of the sequence before the
+MoE block, processes only that slice (gating, dispatch, experts, combine),
+and an all-gather at the block's exit restores the replicated layout the
+following TP block expects.  The backward pass mirrors this (drop incoming
+gradients, process, all-gather).
+
+Two things are provided here:
+
+* :class:`SequenceShardedMoEBlock` — a functional wrapper that shards a
+  sequence across a TP group, applies a per-shard MoE layer, and re-gathers,
+  so equivalence with the unsharded computation can be tested directly.
+* The analytic saving/cost formulas of Appendix C.2 (Eqs. 1–2) used by the
+  memory model and the SSMB-vs-TED trade-off analysis (Fig. 17).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.config.model_config import MoEModelConfig
+
+
+# ----------------------------------------------------------------------
+# Analytic formulas (Appendix C.2)
+# ----------------------------------------------------------------------
+def ssmb_activation_saving_bytes(
+    seq_length: int,
+    hidden_size: int,
+    top_k: int,
+    capacity_factor: float,
+    tp_size: int,
+    dtype_bytes: int = 2,
+) -> float:
+    """Eq. (1): per-device activation bytes saved by SSMB at TP degree ``G``.
+
+    ``A_saving = 4 * c * k * S * H * (G-1)/G`` — the factor 4 covers the
+    dispatch and combine activations in both half-precision copies the
+    training step keeps alive (forward value + gradient buffer).
+    """
+    if tp_size <= 0:
+        raise ValueError("tp_size must be positive")
+    g = tp_size
+    per_unit = 4.0 * capacity_factor * top_k * seq_length * hidden_size
+    return per_unit * (g - 1) / g * (dtype_bytes / 2.0)
+
+
+def ssmb_model_state_cost_bytes(
+    hidden_size: int,
+    ffn_hidden_size: int,
+    tp_size: int,
+    num_experts: int | None = None,
+    ep_size: int | None = None,
+) -> float:
+    """Eq. (2): extra model-state bytes SSMB keeps relative to TED.
+
+    TED additionally slices expert weights by TP; SSMB does not, so each
+    device keeps ``E/EP * 8 * H_FFN * H * (G-1)/G`` more bytes of expert
+    model states (parameters + gradients in half precision plus the
+    non-partitioned share).  With EP free to grow up to ``E`` the lower
+    bound is ``8 * H_FFN * H * (G-1)/G``.
+    """
+    g = tp_size
+    experts_per_rank = 1.0
+    if num_experts is not None and ep_size is not None:
+        if ep_size <= 0:
+            raise ValueError("ep_size must be positive")
+        experts_per_rank = num_experts / ep_size
+    return experts_per_rank * 8.0 * ffn_hidden_size * hidden_size * (g - 1) / g
+
+
+def ssmb_beats_ted(
+    model: MoEModelConfig, *, capacity_factor: float | None = None
+) -> bool:
+    """Decision rule of §4.3: SSMB saves more memory than TED iff
+    ``r = k / H_FFN > 2 / (c * S)``."""
+    c = capacity_factor if capacity_factor is not None else model.capacity_factor
+    r = model.top_k / model.ffn_hidden_size
+    return r > 2.0 / (c * model.seq_length)
+
+
+# ----------------------------------------------------------------------
+# Functional sequence sharding
+# ----------------------------------------------------------------------
+@dataclass
+class ShardInfo:
+    """Which slice of the sequence a TP rank keeps inside the MoE block."""
+
+    tp_rank: int
+    tp_size: int
+    start: int
+    stop: int
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+
+def shard_bounds(seq_length: int, tp_rank: int, tp_size: int) -> ShardInfo:
+    """Contiguous, balanced shard boundaries for one TP rank."""
+    if not (0 <= tp_rank < tp_size):
+        raise ValueError(f"tp_rank {tp_rank} out of range for tp_size {tp_size}")
+    base = seq_length // tp_size
+    remainder = seq_length % tp_size
+    start = tp_rank * base + min(tp_rank, remainder)
+    stop = start + base + (1 if tp_rank < remainder else 0)
+    return ShardInfo(tp_rank=tp_rank, tp_size=tp_size, start=start, stop=stop)
+
+
+class SequenceShardedMoEBlock:
+    """Drop → per-shard MoE → all-gather, over a TP group.
+
+    Parameters
+    ----------
+    moe_layer_fn:
+        Callable applied to each shard's ``[s_i, H]`` numpy array, returning
+        the ``[s_i, H]`` MoE output (e.g. a closure over a padding-free
+        pipeline).  Token-wise independence of the MoE block guarantees that
+        concatenating the per-shard outputs equals the unsharded output.
+    tp_group:
+        Optional process group used for the all-gather; when provided the
+        gather goes through the communication substrate so its cost is
+        recorded, otherwise a plain concatenation is used.
+    """
+
+    def __init__(
+        self,
+        moe_layer_fn: Callable[[np.ndarray], np.ndarray],
+        tp_size: int,
+        tp_group: ProcessGroup | None = None,
+    ):
+        if tp_size <= 0:
+            raise ValueError("tp_size must be positive")
+        if tp_group is not None and tp_group.size != tp_size:
+            raise ValueError("tp_group size must equal tp_size")
+        self.moe_layer_fn = moe_layer_fn
+        self.tp_size = tp_size
+        self.tp_group = tp_group
+
+    def shard(self, sequence: np.ndarray, tp_rank: int) -> np.ndarray:
+        """The slice of ``sequence`` kept by ``tp_rank`` (the "drop" step)."""
+        info = shard_bounds(sequence.shape[0], tp_rank, self.tp_size)
+        return sequence[info.start : info.stop]
+
+    def forward(self, replicated_sequence: np.ndarray) -> np.ndarray:
+        """Run the full SSMB block given the TP-replicated input sequence.
+
+        Every TP rank drops to its shard, applies the MoE layer, and the
+        shards are re-gathered into the full output sequence.
+        """
+        shards = [
+            self.moe_layer_fn(self.shard(replicated_sequence, r))
+            for r in range(self.tp_size)
+        ]
+        if self.tp_group is not None:
+            gathered = self.tp_group.allgather(shards, op_name="ssmb_allgather")
+            return gathered[0]
+        return np.concatenate(shards, axis=0)
+
+    def activation_scale(self) -> float:
+        """Factor by which SSMB shrinks the MoE-block activations per device."""
+        return 1.0 / self.tp_size

@@ -1,0 +1,179 @@
+"""End-to-end simulated training driver.
+
+:class:`SimulatedTrainer` ties the memory model and performance model
+together for one (model, parallel, system, training-system) combination and
+produces a :class:`TrainRunResult` — either an OOM verdict or the achieved
+throughput, mirroring how the paper reports Fig. 9 / Fig. 10 / Table 5.
+
+:func:`sweep_best_config` reproduces the paper's methodology of sweeping EP
+size, ZeRO stage, and (for TED/X-MoE) the TP degree, then reporting the best
+configuration that fits in memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config.hardware import SystemSpec, frontier_system
+from repro.config.model_config import MoEModelConfig
+from repro.config.parallel_config import ParallelConfig, PlacementOrder, ZeroStage
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+from repro.xmoe.perf_model import MoEPerformanceModel
+
+
+@dataclass
+class TrainRunResult:
+    """Outcome of one simulated training configuration."""
+
+    system: SystemKind
+    model_name: str
+    parallel: ParallelConfig
+    oom: bool
+    peak_memory_gb: float
+    iteration_seconds: float | None = None
+    tflops_per_gpu: float | None = None
+    aggregated_pflops: float | None = None
+
+    @property
+    def trainable(self) -> bool:
+        return not self.oom
+
+    def describe(self) -> str:
+        status = "OOM" if self.oom else f"{self.tflops_per_gpu:.1f} TFLOPs/GPU"
+        return (
+            f"{self.system.value:>14s} | {self.model_name:>8s} | "
+            f"{self.parallel.describe()} | mem={self.peak_memory_gb:.1f} GB | {status}"
+        )
+
+
+class SimulatedTrainer:
+    """Evaluate a single training configuration on the simulated cluster."""
+
+    def __init__(
+        self,
+        model: MoEModelConfig,
+        parallel: ParallelConfig,
+        system_spec: SystemSpec | None = None,
+        kind: SystemKind = SystemKind.XMOE,
+    ):
+        if system_spec is None:
+            needed_nodes = max(1, -(-parallel.world_size // 8))
+            system_spec = frontier_system(num_nodes=needed_nodes)
+        self.model = model
+        self.parallel = parallel
+        self.system_spec = system_spec
+        self.kind = kind
+        self.memory = MoEMemoryModel(model, parallel, system_spec.node.gpu)
+        self.perf = MoEPerformanceModel(model, parallel, system_spec, kind)
+
+    def run(self) -> TrainRunResult:
+        """Check memory, then (if trainable) compute throughput."""
+        report = self.memory.report(self.kind)
+        if not report.fits:
+            return TrainRunResult(
+                system=self.kind,
+                model_name=self.model.name,
+                parallel=self.parallel,
+                oom=True,
+                peak_memory_gb=report.total_gb,
+            )
+        seconds = self.perf.iteration_time()
+        tflops = self.perf.throughput_tflops_per_gpu()
+        return TrainRunResult(
+            system=self.kind,
+            model_name=self.model.name,
+            parallel=self.parallel,
+            oom=False,
+            peak_memory_gb=report.total_gb,
+            iteration_seconds=seconds,
+            tflops_per_gpu=tflops,
+            aggregated_pflops=tflops * self.parallel.world_size / 1e3,
+        )
+
+
+def _candidate_parallel_configs(
+    model: MoEModelConfig,
+    world_size: int,
+    kind: SystemKind,
+    *,
+    global_batch_size: int,
+    micro_batch_size: int = 1,
+) -> list[ParallelConfig]:
+    """The EP / TP / ZeRO sweep the paper performs for each system (§5.2)."""
+    ep_options = [e for e in (8, 16, 32, 64, 128, 256) if e <= min(world_size, model.num_experts)]
+    if not ep_options:
+        ep_options = [min(world_size, model.num_experts)]
+    zero_options = [ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS]
+    if kind is SystemKind.DEEPSPEED_TED:
+        tp_options = [1, 2, 4, 8]
+    elif kind is SystemKind.XMOE:
+        tp_options = [1, 2, 4]
+    else:
+        tp_options = [1]
+
+    configs: list[ParallelConfig] = []
+    for ep, tp, zero in itertools.product(ep_options, tp_options, zero_options):
+        if world_size % tp or world_size % ep:
+            continue
+        if model.num_experts % ep:
+            continue
+        dp = world_size // tp
+        if global_batch_size % dp:
+            continue
+        configs.append(
+            ParallelConfig(
+                world_size=world_size,
+                ep_size=ep,
+                tp_size=tp,
+                zero_stage=zero,
+                use_ssmb=(kind is SystemKind.XMOE and tp > 1),
+                use_rbd=(kind is SystemKind.XMOE),
+                placement=(
+                    PlacementOrder.DP_FIRST
+                    if kind is SystemKind.XMOE
+                    else PlacementOrder.EP_FIRST
+                ),
+                micro_batch_size=micro_batch_size,
+                global_batch_size=global_batch_size,
+            )
+        )
+    return configs
+
+
+def sweep_best_config(
+    model: MoEModelConfig,
+    world_size: int,
+    kind: SystemKind,
+    system_spec: SystemSpec | None = None,
+    *,
+    global_batch_size: int = 1024,
+    micro_batch_size: int = 1,
+) -> TrainRunResult:
+    """Best (highest-throughput) trainable configuration for one system.
+
+    If no candidate fits in memory the returned result has ``oom=True`` and
+    reports the smallest peak memory seen across the sweep.
+    """
+    candidates = _candidate_parallel_configs(
+        model,
+        world_size,
+        kind,
+        global_batch_size=global_batch_size,
+        micro_batch_size=micro_batch_size,
+    )
+    best: TrainRunResult | None = None
+    least_oom: TrainRunResult | None = None
+    for parallel in candidates:
+        result = SimulatedTrainer(model, parallel, system_spec, kind).run()
+        if result.oom:
+            if least_oom is None or result.peak_memory_gb < least_oom.peak_memory_gb:
+                least_oom = result
+            continue
+        if best is None or result.tflops_per_gpu > best.tflops_per_gpu:
+            best = result
+    if best is not None:
+        return best
+    if least_oom is not None:
+        return least_oom
+    raise ValueError("no valid parallel configuration for the requested sweep")

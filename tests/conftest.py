@@ -1,0 +1,36 @@
+"""Shared pytest fixtures.
+
+Also makes the test suite runnable without an editable install by putting
+``src/`` on ``sys.path`` when the package is not importable (useful on
+offline machines where ``pip install -e .`` needs ``--no-build-isolation``).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:  # pragma: no cover - exercised implicitly
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_gate_experts():
+    """A small gate + expert bank pair with matching shapes."""
+    from repro.moe.experts import ExpertBank
+    from repro.moe.gating import TopKGate
+
+    gate = TopKGate(16, 8, 2, rng=np.random.default_rng(7))
+    experts = ExpertBank(8, 16, 12, rng=np.random.default_rng(8))
+    return gate, experts

@@ -1,0 +1,40 @@
+"""Tests for the command-line entry point (python -m repro ...)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_configs_command(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "super" in out
+
+    def test_fig4_command(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "EP size" in out and "75.1%" in out
+
+    def test_table4_command(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "x-moe" in out and "theoretical" in out
+
+    def test_fig13_command(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "TP=4" in out and "SSMB" in out
+
+    def test_fig9_quick_command(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "x-moe" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,89 @@
+"""Tests for the device memory tracker and OOM behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DeviceOOMError, MemoryTracker, SimDevice
+from repro.config import MI250X_GCD
+
+
+class TestMemoryTracker:
+    def test_allocate_and_free(self):
+        tracker = MemoryTracker(capacity_bytes=1000)
+        tracker.allocate("a", 400)
+        tracker.allocate("b", 300)
+        assert tracker.in_use_bytes == 700
+        assert tracker.available_bytes == 300
+        assert tracker.free("a") == 400
+        assert tracker.in_use_bytes == 300
+
+    def test_peak_tracking(self):
+        tracker = MemoryTracker(capacity_bytes=1000)
+        tracker.allocate("a", 600)
+        tracker.free("a")
+        tracker.allocate("b", 100)
+        assert tracker.peak_bytes == 600
+        tracker.reset_peak()
+        assert tracker.peak_bytes == 100
+
+    def test_oom_raised(self):
+        tracker = MemoryTracker(capacity_bytes=100, name="gpu0")
+        tracker.allocate("a", 90)
+        with pytest.raises(DeviceOOMError) as exc:
+            tracker.allocate("b", 20)
+        assert exc.value.requested == 20
+        assert exc.value.capacity == 100
+
+    def test_same_tag_accumulates(self):
+        tracker = MemoryTracker(capacity_bytes=1000)
+        tracker.allocate("act", 100)
+        tracker.allocate("act", 200)
+        assert tracker.allocations["act"] == 300
+        assert tracker.free("act") == 300
+
+    def test_free_all_with_prefix(self):
+        tracker = MemoryTracker(capacity_bytes=1000)
+        tracker.allocate("act/layer0", 100)
+        tracker.allocate("act/layer1", 100)
+        tracker.allocate("weights", 300)
+        freed = tracker.free_all("act/")
+        assert freed == 200
+        assert tracker.in_use_bytes == 300
+
+    def test_would_fit(self):
+        tracker = MemoryTracker(capacity_bytes=100)
+        tracker.allocate("a", 60)
+        assert tracker.would_fit(40)
+        assert not tracker.would_fit(41)
+
+    def test_negative_allocation_rejected(self):
+        tracker = MemoryTracker(capacity_bytes=100)
+        with pytest.raises(ValueError):
+            tracker.allocate("a", -1)
+
+    def test_breakdown_sorted(self):
+        tracker = MemoryTracker(capacity_bytes=2**32)
+        tracker.allocate("small", 2**20)
+        tracker.allocate("big", 2**30)
+        keys = list(tracker.breakdown().keys())
+        assert keys == ["big", "small"]
+
+
+class TestSimDevice:
+    def test_alloc_array_charges_nbytes(self):
+        device = SimDevice(0, MI250X_GCD)
+        arr = np.zeros((1024, 1024), dtype=np.float32)
+        device.alloc_array("buffer", arr)
+        assert device.memory.in_use_bytes == arr.nbytes
+        assert device.in_use_gb == pytest.approx(arr.nbytes / 2**30)
+
+    def test_device_oom_on_capacity(self):
+        device = SimDevice(0, MI250X_GCD)
+        with pytest.raises(DeviceOOMError):
+            device.alloc("huge", MI250X_GCD.memory_bytes + 1)
+
+    def test_peak_gb(self):
+        device = SimDevice(1, MI250X_GCD)
+        device.alloc("x", 2**30)
+        device.free("x")
+        assert device.peak_gb == pytest.approx(1.0)

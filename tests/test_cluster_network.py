@@ -1,0 +1,109 @@
+"""Tests for the network cost model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LinkTier, NetworkModel, Topology
+from repro.config import frontier_system
+
+
+@pytest.fixture
+def frontier_topo():
+    return Topology(frontier_system(num_nodes=64), 512)
+
+
+@pytest.fixture
+def network(frontier_topo):
+    return NetworkModel(frontier_topo, seed=0)
+
+
+class TestPointToPoint:
+    def test_inter_node_slower_than_intra(self, network):
+        nbytes = 64 * 2**20
+        intra = network.p2p_time(0, 1, nbytes)
+        inter = network.p2p_time(0, 8, nbytes)
+        assert inter > intra
+
+    def test_bandwidth_ordering(self, network):
+        assert (
+            network.bandwidth(LinkTier.INTRA_PACKAGE)
+            > network.bandwidth(LinkTier.INTRA_NODE)
+            > network.bandwidth(LinkTier.INTER_NODE)
+            >= network.bandwidth(LinkTier.CROSS_RACK)
+        )
+
+    def test_self_transfer_uses_hbm(self, network):
+        t = network.p2p_time(3, 3, 2**30)
+        assert t < network.p2p_time(0, 1, 2**30)
+
+
+class TestAlltoallTime:
+    def test_more_bytes_take_longer(self, network):
+        ranks = np.arange(16)
+        small = np.full((16, 16), 1e5)
+        big = np.full((16, 16), 1e7)
+        np.fill_diagonal(small, 0)
+        np.fill_diagonal(big, 0)
+        assert network.alltoall_time(big, ranks).seconds > network.alltoall_time(small, ranks).seconds
+
+    def test_intra_node_exchange_faster_than_cross_node(self, network):
+        nbytes = np.full((8, 8), 1e7)
+        np.fill_diagonal(nbytes, 0)
+        intra = network.alltoall_time(nbytes, np.arange(8))  # one node
+        inter = network.alltoall_time(nbytes, np.arange(8) * 8)  # 8 nodes
+        assert inter.seconds > intra.seconds
+        assert inter.bottleneck_tier in (LinkTier.INTER_NODE, LinkTier.CROSS_RACK)
+        assert intra.bottleneck_tier in (LinkTier.INTRA_PACKAGE, LinkTier.INTRA_NODE)
+
+    def test_bytes_by_tier_accounting(self, network):
+        traffic = np.full((4, 4), 100.0)
+        np.fill_diagonal(traffic, 0)
+        ranks = np.array([0, 1, 8, 9])
+        est = network.alltoall_time(traffic, ranks)
+        total = sum(v for t, v in est.bytes_by_tier.items() if t != LinkTier.SELF)
+        assert total == pytest.approx(traffic.sum())
+
+    def test_rejects_non_square_matrix(self, network):
+        with pytest.raises(ValueError):
+            network.alltoall_time(np.zeros((3, 4)), np.arange(3))
+
+    def test_rejects_mismatched_ranks(self, network):
+        with pytest.raises(ValueError):
+            network.alltoall_time(np.zeros((4, 4)), np.arange(3))
+
+
+class TestCollectiveEstimates:
+    def test_allgather_scales_with_group(self, network):
+        small = network.allgather_time(2**20, np.arange(4))
+        large = network.allgather_time(2**20, np.arange(64))
+        assert large.seconds > small.seconds
+
+    def test_allreduce_single_rank_is_free(self, network):
+        assert network.allreduce_time(2**20, np.arange(1)).seconds == 0.0
+
+    def test_allreduce_worse_over_inter_node(self, network):
+        intra = network.allreduce_time(2**26, np.arange(8))
+        inter = network.allreduce_time(2**26, np.arange(8) * 8)
+        assert inter.seconds > intra.seconds
+
+
+class TestCongestion:
+    def test_no_congestion_within_rack(self, network):
+        assert network.congestion_factor(256) == pytest.approx(1.0)
+
+    def test_congestion_beyond_rack(self, network):
+        assert network.congestion_factor(512) > 1.0
+        assert network.congestion_factor(1024) >= network.congestion_factor(512)
+
+    def test_congestion_sampling_produces_outliers(self, frontier_topo):
+        net = NetworkModel(frontier_topo, seed=7)
+        ranks = np.arange(512)
+        traffic = np.full((512, 512), 1e5)
+        np.fill_diagonal(traffic, 0)
+        times = [
+            net.alltoall_time(traffic, ranks, sample_congestion=True).seconds
+            for _ in range(200)
+        ]
+        times = np.array(times)
+        # Outliers are rare but much slower than the median.
+        assert times.max() > 3.0 * np.median(times)

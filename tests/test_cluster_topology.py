@@ -1,0 +1,64 @@
+"""Tests for the cluster topology and link-tier queries."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import LinkTier, Topology
+from repro.config import frontier_system, dgx_cluster
+
+
+class TestTopology:
+    def test_rank_locations(self):
+        topo = Topology(frontier_system(num_nodes=4), 32)
+        loc = topo.location(9)
+        assert loc.node == 1
+        assert loc.local_index == 1
+        assert loc.package == 4  # packages of 2 GCDs
+
+    def test_tier_classification(self):
+        topo = Topology(frontier_system(num_nodes=64), 512)
+        assert topo.tier(0, 0) == LinkTier.SELF
+        assert topo.tier(0, 1) == LinkTier.INTRA_PACKAGE
+        assert topo.tier(0, 7) == LinkTier.INTRA_NODE
+        assert topo.tier(0, 8) == LinkTier.INTER_NODE
+        assert topo.tier(0, 300) == LinkTier.CROSS_RACK
+
+    def test_tier_matrix_matches_pairwise(self):
+        topo = Topology(frontier_system(num_nodes=4), 24)
+        ranks = np.array([0, 1, 7, 8, 17, 23])
+        matrix = topo.tier_matrix(ranks)
+        for i, a in enumerate(ranks):
+            for j, b in enumerate(ranks):
+                assert matrix[i, j] == int(topo.tier(int(a), int(b)))
+
+    def test_node_and_rack_counts(self):
+        topo = Topology(frontier_system(num_nodes=64), 512)
+        assert topo.num_nodes == 64
+        assert topo.num_racks == 2
+
+    def test_ranks_on_node(self):
+        topo = Topology(frontier_system(num_nodes=2), 12)
+        assert topo.ranks_on_node(0) == list(range(8))
+        assert topo.ranks_on_node(1) == [8, 9, 10, 11]
+
+    def test_same_node(self):
+        topo = Topology(frontier_system(num_nodes=2), 16)
+        assert topo.same_node(0, 7)
+        assert not topo.same_node(7, 8)
+
+    def test_out_of_range_rank_rejected(self):
+        topo = Topology(frontier_system(num_nodes=1), 8)
+        with pytest.raises(ValueError):
+            topo.tier(0, 8)
+        with pytest.raises(ValueError):
+            Topology(frontier_system(num_nodes=1), 9)
+
+    def test_nodes_of_vectorized(self):
+        topo = Topology(frontier_system(num_nodes=4), 32)
+        nodes = topo.nodes_of([0, 8, 16, 31])
+        assert list(nodes) == [0, 1, 2, 3]
+
+    def test_dgx_topology_single_node(self):
+        topo = Topology(dgx_cluster(1), 8)
+        assert topo.num_nodes == 1
+        assert topo.tier(0, 7) in (LinkTier.INTRA_PACKAGE, LinkTier.INTRA_NODE)

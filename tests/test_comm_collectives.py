@@ -1,0 +1,135 @@
+"""Tests for the functional collectives over the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.topology import LinkTier
+from repro.comm import CommWorld
+
+
+@pytest.fixture
+def world():
+    return CommWorld(num_ranks=8)
+
+
+@pytest.fixture
+def group(world):
+    return world.world_group()
+
+
+class TestAlltoall:
+    def test_generic_alltoall_transposes_chunks(self, group):
+        size = group.size
+        chunks = [
+            [np.full((1, 2), 10 * i + j, dtype=np.float64) for j in range(size)]
+            for i in range(size)
+        ]
+        received = group.alltoall(chunks)
+        for j in range(size):
+            for i in range(size):
+                assert received[j][i][0, 0] == 10 * i + j
+
+    def test_alltoall_single_even_split(self, group):
+        size = group.size
+        buffers = [np.arange(size * 3, dtype=np.float64).reshape(size, 3) + 100 * r for r in range(size)]
+        out = group.alltoall_single(buffers)
+        for j in range(size):
+            # Row i of rank j's output came from rank i's j-th slice.
+            for i in range(size):
+                np.testing.assert_allclose(out[j][i], buffers[i][j])
+
+    def test_alltoall_single_rejects_uneven(self, group):
+        buffers = [np.zeros((group.size + 1, 2)) for _ in range(group.size)]
+        with pytest.raises(ValueError):
+            group.alltoall_single(buffers)
+
+    def test_alltoallv_roundtrip_preserves_rows(self, group, rng):
+        size = group.size
+        buffers, splits = [], []
+        for r in range(size):
+            counts = rng.integers(0, 5, size=size)
+            rows = int(counts.sum())
+            buffers.append(rng.normal(size=(rows, 4)))
+            splits.append(counts)
+        received, recv_splits = group.alltoallv(buffers, splits)
+        # Reverse exchange restores the original buffers.
+        back, _ = group.alltoallv(received, recv_splits)
+        for r in range(size):
+            # Rows may be re-grouped by destination, so compare as sorted sets.
+            np.testing.assert_allclose(
+                np.sort(back[r], axis=0), np.sort(buffers[r], axis=0)
+            )
+
+    def test_alltoallv_split_validation(self, group):
+        buffers = [np.zeros((3, 2)) for _ in range(group.size)]
+        splits = [np.zeros(group.size, dtype=int) for _ in range(group.size)]
+        with pytest.raises(ValueError):
+            group.alltoallv(buffers, splits)
+
+    def test_stats_recorded(self, world, group):
+        chunks = [[np.ones((2, 4)) for _ in range(group.size)] for _ in range(group.size)]
+        group.alltoall(chunks)
+        assert world.stats.total_bytes > 0
+        assert world.stats.total_seconds > 0
+        assert "alltoall" in world.stats.seconds_by_op()
+
+
+class TestOtherCollectives:
+    def test_allgather(self, group):
+        buffers = [np.full((2, 3), r, dtype=np.float64) for r in range(group.size)]
+        gathered = group.allgather(buffers)
+        assert all(g.shape == (2 * group.size, 3) for g in gathered)
+        np.testing.assert_allclose(gathered[0][:2], 0)
+        np.testing.assert_allclose(gathered[0][-2:], group.size - 1)
+
+    def test_allreduce_sum(self, group):
+        buffers = [np.full((4,), float(r)) for r in range(group.size)]
+        reduced = group.allreduce(buffers)
+        expected = sum(range(group.size))
+        for out in reduced:
+            np.testing.assert_allclose(out, expected)
+
+    def test_allreduce_max_and_mean(self, group):
+        buffers = [np.full((2,), float(r)) for r in range(group.size)]
+        assert group.allreduce(buffers, op="max")[0][0] == group.size - 1
+        np.testing.assert_allclose(
+            group.allreduce(buffers, op="mean")[0], np.mean(range(group.size))
+        )
+
+    def test_allreduce_rejects_shape_mismatch(self, group):
+        buffers = [np.zeros(3) for _ in range(group.size - 1)] + [np.zeros(4)]
+        with pytest.raises(ValueError):
+            group.allreduce(buffers)
+
+    def test_reduce_scatter(self, group):
+        size = group.size
+        buffers = [np.arange(size * 2, dtype=np.float64).reshape(size, 2) for _ in range(size)]
+        slices = group.reduce_scatter(buffers)
+        for j, out in enumerate(slices):
+            np.testing.assert_allclose(out, buffers[0][j : j + 1] * size)
+
+    def test_broadcast(self, group):
+        payload = np.arange(6, dtype=np.float64)
+        received = group.broadcast(payload, root=2)
+        for out in received:
+            np.testing.assert_allclose(out, payload)
+
+
+class TestGroups:
+    def test_node_local_subgroups(self):
+        world = CommWorld(num_ranks=16)  # 2 nodes
+        groups = world.world_group().node_local_subgroups()
+        assert len(groups) == 2
+        assert groups[0].ranks == list(range(8))
+        assert groups[1].ranks == list(range(8, 16))
+
+    def test_duplicate_ranks_rejected(self, world):
+        with pytest.raises(ValueError):
+            world.group([0, 0, 1])
+
+    def test_inter_node_traffic_tiers(self):
+        world = CommWorld(num_ranks=16)
+        group = world.group([0, 8])  # two nodes
+        group.alltoall([[np.zeros((0, 4)), np.ones((4, 4))], [np.ones((4, 4)), np.zeros((0, 4))]])
+        tiers = world.stats.bytes_by_tier()
+        assert tiers.get(LinkTier.INTER_NODE, 0) > 0

@@ -1,0 +1,90 @@
+"""Tests for hardware specs and the equivalence-pair builder."""
+
+import pytest
+
+from repro.config import (
+    A100_40GB,
+    MI250X_GCD,
+    dgx_a100_node,
+    dgx_cluster,
+    frontier_node,
+    frontier_system,
+    make_equivalent_pair,
+)
+from repro.config.hardware import NodeSpec
+
+
+class TestHardwareSpecs:
+    def test_mi250x_gcd_capacity(self):
+        assert MI250X_GCD.memory_gb == pytest.approx(64.0)
+        assert MI250X_GCD.peak_tflops == pytest.approx(191.5)
+
+    def test_a100_capacity(self):
+        assert A100_40GB.memory_gb == pytest.approx(40.0)
+
+    def test_frontier_node_layout(self):
+        node = frontier_node()
+        assert node.gpus_per_node == 8
+        assert node.gpus_per_package == 2
+        # Hierarchical bandwidth asymmetry: intra-package > intra-node > inter-node.
+        assert node.intra_package_bw_gbps > node.intra_node_bw_gbps > node.inter_node_bw_gbps
+
+    def test_dgx_node_is_balanced(self):
+        node = dgx_a100_node()
+        ratio = node.intra_node_bw_gbps / node.inter_node_bw_gbps
+        assert ratio <= 3.5  # "balanced" network per the paper
+
+    def test_frontier_system_counts(self):
+        system = frontier_system(num_nodes=128)
+        assert system.total_gpus == 1024
+        assert system.gpus_per_rack == 256
+        assert system.nodes_per_rack == 32
+
+    def test_dgx_cluster_single_node(self):
+        system = dgx_cluster(1)
+        assert system.total_gpus == 8
+
+    def test_invalid_node_spec_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(
+                name="bad",
+                gpu=MI250X_GCD,
+                gpus_per_node=8,
+                gpus_per_package=3,
+                intra_package_bw_gbps=200,
+                intra_node_bw_gbps=75,
+                inter_node_bw_gbps=25,
+            )
+
+
+class TestEquivalentPair:
+    def test_table1_equivalence_holds(self):
+        pair = make_equivalent_pair(
+            base_hidden=4096,
+            base_ffn_hidden=4096,
+            num_base_experts=8,
+            fine_grained_factor=8,
+            conventional_top_k=2,
+        )
+        conv, spec = pair.conventional, pair.specialized
+        # Total expert parameters identical.
+        assert conv.moe_layer_expert_params() == spec.moe_layer_expert_params()
+        # Specialized model has m-times more, m-times narrower experts.
+        assert spec.num_experts == conv.num_experts * 8
+        assert spec.ffn_hidden_size == conv.ffn_hidden_size // 8
+        assert spec.top_k == conv.top_k * 8
+
+    def test_activated_params_equal(self):
+        pair = make_equivalent_pair(4096, 4096, 16, 8)
+        conv, spec = pair.conventional, pair.specialized
+        conv_active = conv.top_k * conv.expert_params_per_expert()
+        spec_active = spec.top_k * spec.expert_params_per_expert()
+        assert conv_active == spec_active
+
+    def test_indivisible_ffn_rejected(self):
+        with pytest.raises(ValueError):
+            make_equivalent_pair(4096, 4097, 8, 8)
+
+    def test_nonpositive_factor_rejected(self):
+        with pytest.raises(ValueError):
+            make_equivalent_pair(4096, 4096, 8, 0)

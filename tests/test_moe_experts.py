@@ -1,0 +1,90 @@
+"""Tests for the expert bank's padded and sequential execution paths."""
+
+import numpy as np
+import pytest
+
+from repro.moe import ExpertBank
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def bank():
+    return ExpertBank(4, 8, 6, rng=np.random.default_rng(0))
+
+
+class TestExpertBank:
+    def test_param_shapes(self, bank):
+        assert bank.w1.shape == (4, 8, 6)
+        assert bank.w2.shape == (4, 6, 8)
+        assert bank.params_per_expert == 2 * 8 * 6
+
+    def test_forward_expert_matches_manual(self, bank, rng):
+        x = rng.normal(size=(5, 8))
+        out = bank.forward_expert(1, Tensor(x)).data
+        h = x @ bank.w1.data[1]
+        h = h / (1 + np.exp(-h))
+        np.testing.assert_allclose(out, h @ bank.w2.data[1])
+
+    def test_padded_and_sequential_agree(self, bank, rng):
+        """The padded batched path and the sequential path must produce the
+        same outputs for the same token-to-expert assignment."""
+        capacity = 3
+        counts = np.array([2, 0, 3, 1])
+        tokens = rng.normal(size=(int(counts.sum()), 8))
+        # Build padded [E, C, H] buffer.
+        padded = np.zeros((4, capacity, 8))
+        offset = 0
+        for e, c in enumerate(counts):
+            padded[e, :c] = tokens[offset : offset + c]
+            offset += c
+        padded_out = bank.forward_padded(Tensor(padded)).data
+        seq_out = bank.forward_sequential(Tensor(tokens), counts).data
+        offset = 0
+        for e, c in enumerate(counts):
+            np.testing.assert_allclose(
+                seq_out[offset : offset + c], padded_out[e, :c], atol=1e-12
+            )
+            offset += c
+
+    def test_sequential_requires_matching_counts(self, bank, rng):
+        tokens = Tensor(rng.normal(size=(5, 8)))
+        with pytest.raises(ValueError):
+            bank.forward_sequential(tokens, np.array([1, 1, 1, 1]))  # sums to 4
+        with pytest.raises(ValueError):
+            bank.forward_sequential(tokens, np.array([5, 0, 0]))  # wrong length
+
+    def test_padded_shape_validation(self, bank, rng):
+        with pytest.raises(ValueError):
+            bank.forward_padded(Tensor(rng.normal(size=(3, 2, 8))))
+
+    def test_empty_experts_skip_gemm(self, bank, rng):
+        counts = np.array([0, 4, 0, 0])
+        tokens = Tensor(rng.normal(size=(4, 8)))
+        out = bank.forward_sequential(tokens, counts)
+        assert out.shape == (4, 8)
+
+    def test_all_empty_returns_empty(self, bank):
+        out = bank.forward_sequential(Tensor(np.zeros((0, 8))), np.zeros(4, dtype=int))
+        assert out.shape == (0, 8)
+
+    def test_gradients_flow_through_sequential(self, bank, rng):
+        tokens = Tensor(rng.normal(size=(6, 8)), requires_grad=True)
+        counts = np.array([2, 2, 1, 1])
+        out = bank.forward_sequential(tokens, counts)
+        (out * out).sum().backward()
+        assert tokens.grad is not None
+        assert bank.w1.grad is not None and bank.w2.grad is not None
+        assert np.abs(bank.w1.grad).sum() > 0
+
+    def test_activation_options(self, rng):
+        for act in ("relu", "gelu", "silu"):
+            bank = ExpertBank(2, 4, 3, rng=np.random.default_rng(0), activation=act)
+            out = bank.forward_expert(0, Tensor(rng.normal(size=(3, 4))))
+            assert out.shape == (3, 4)
+        bank = ExpertBank(2, 4, 3, activation="bogus")
+        with pytest.raises(ValueError):
+            bank.forward_expert(0, Tensor(rng.normal(size=(3, 4))))
+
+    def test_invalid_expert_id(self, bank, rng):
+        with pytest.raises(ValueError):
+            bank.forward_expert(9, Tensor(rng.normal(size=(2, 8))))

@@ -1,0 +1,120 @@
+"""Tests for the MoE transformer LM and the synthetic dataset."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PaddedMoELayer
+from repro.moe import MoETransformerLM, SyntheticLMDataset, TransformerConfig, zipf_token_batch
+from repro.xmoe import PaddingFreeMoELayer
+
+
+def padded_factory(gate, experts, capacity_factor):
+    return PaddedMoELayer(gate, experts, capacity_factor)
+
+
+def pfree_factory(gate, experts, capacity_factor):
+    return PaddingFreeMoELayer(gate, experts, capacity_factor)
+
+
+@pytest.fixture
+def tiny_config():
+    return TransformerConfig(
+        vocab_size=64,
+        hidden_size=16,
+        ffn_hidden_size=8,
+        num_experts=4,
+        top_k=2,
+        num_layers=2,
+        seq_length=24,
+    )
+
+
+class TestMoETransformerLM:
+    def test_forward_shapes(self, tiny_config):
+        model = MoETransformerLM(tiny_config, pfree_factory, seed=0)
+        logits, aux = model.forward(np.arange(24) % 64)
+        assert logits.shape == (24, 64)
+        assert aux.data.size == 1 or aux.data.shape == ()
+
+    def test_loss_is_finite_and_positive(self, tiny_config):
+        model = MoETransformerLM(tiny_config, padded_factory, seed=0)
+        loss, lm_loss = model.loss(np.arange(25) % 64)
+        assert np.isfinite(float(loss.data))
+        assert lm_loss > 0
+
+    def test_parameter_count_matches_sum(self, tiny_config):
+        model = MoETransformerLM(tiny_config, pfree_factory, seed=0)
+        assert model.num_parameters() == sum(p.size for p in model.parameters())
+        assert model.num_parameters() > tiny_config.vocab_size * tiny_config.hidden_size
+
+    def test_backward_populates_all_parameters(self, tiny_config):
+        model = MoETransformerLM(tiny_config, pfree_factory, seed=0)
+        loss, _ = model.loss(np.arange(25) % 64)
+        loss.backward()
+        with_grad = [p for p in model.parameters() if p.grad is not None]
+        # Everything except possibly unused experts receives gradient.
+        assert len(with_grad) >= 0.9 * len(model.parameters())
+
+    def test_identical_seeds_identical_outputs(self, tiny_config):
+        m1 = MoETransformerLM(tiny_config, pfree_factory, seed=3)
+        m2 = MoETransformerLM(tiny_config, pfree_factory, seed=3)
+        seq = np.arange(25) % 64
+        l1, _ = m1.loss(seq)
+        l2, _ = m2.loss(seq)
+        assert float(l1.data) == pytest.approx(float(l2.data))
+
+    def test_pipelines_share_initialization(self, tiny_config):
+        """Padded and padding-free models built from the same seed hold
+        bit-identical weights — the precondition of the Fig. 15 comparison."""
+        m1 = MoETransformerLM(tiny_config, padded_factory, seed=5)
+        m2 = MoETransformerLM(tiny_config, pfree_factory, seed=5)
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_rejects_multidim_tokens(self, tiny_config):
+        model = MoETransformerLM(tiny_config, pfree_factory, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(np.zeros((2, 8), dtype=np.int64))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TransformerConfig(num_experts=2, top_k=4)
+
+
+class TestSyntheticData:
+    def test_sequence_shape_and_range(self):
+        ds = SyntheticLMDataset(vocab_size=100, seq_length=50, seed=0)
+        seq = ds.sample_sequence()
+        assert seq.shape == (50,)
+        assert seq.min() >= 0 and seq.max() < 100
+
+    def test_batch_shape(self):
+        ds = SyntheticLMDataset(vocab_size=100, seq_length=20, seed=0)
+        batch = ds.sample_batch(4)
+        assert batch.shape == (4, 20)
+
+    def test_markov_structure_is_learnable_signal(self):
+        """Successor entropy should be far below uniform: the dataset has
+        predictable transitions an LM can learn."""
+        ds = SyntheticLMDataset(vocab_size=50, seq_length=2000, seed=1, branching=2)
+        seq = ds.sample_sequence()
+        pairs = {}
+        for a, b in zip(seq[:-1], seq[1:]):
+            pairs.setdefault(int(a), set()).add(int(b))
+        avg_successors = np.mean([len(v) for v in pairs.values()])
+        assert avg_successors < 25  # far fewer than the 50-token vocabulary
+
+    def test_zipf_batch_is_skewed(self):
+        rng = np.random.default_rng(0)
+        batch = zipf_token_batch(rng, vocab_size=1000, seq_length=5000)
+        counts = np.bincount(batch, minlength=1000)
+        assert counts[:10].sum() > counts[500:510].sum()
+
+    def test_invalid_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipf_token_batch(rng, vocab_size=1, seq_length=5)
+        with pytest.raises(ValueError):
+            SyntheticLMDataset(10, 10, branching=0)
+        with pytest.raises(ValueError):
+            SyntheticLMDataset(10, 10).sample_batch(0)

@@ -1,0 +1,127 @@
+"""Tests for the autograd engine: gradients checked against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, ops
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued function of an array."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_plus = fn(x)
+        flat[i] = orig - eps
+        f_minus = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_plus - f_minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_loss, x0: np.ndarray, atol=1e-5):
+    """Compare autograd gradient to numerical gradient."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    loss = build_loss(x)
+    loss.backward()
+    analytic = x.grad
+
+    def scalar_fn(arr):
+        return float(build_loss(Tensor(arr)).data)
+
+    numeric = numerical_grad(scalar_fn, x0.copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBasicOps:
+    def test_add_mul_grad(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        check_gradient(lambda x: ((x * 3.0 + 1.0) * x).sum(), x0)
+
+    def test_matmul_grad(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        w = rng.normal(size=(4, 2))
+        check_gradient(lambda x: (x @ Tensor(w)).sum(), x0)
+
+    def test_div_pow_grad(self, rng):
+        x0 = rng.normal(size=(5,)) + 3.0
+        check_gradient(lambda x: ((x**2) / 7.0).sum(), x0)
+
+    def test_broadcast_add_grad(self, rng):
+        x0 = rng.normal(size=(1, 4))
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda x: (x + other).sum(), x0)
+
+    def test_getitem_grad(self, rng):
+        x0 = rng.normal(size=(6, 3))
+        idx = np.array([0, 2, 2, 5])
+        check_gradient(lambda x: (x[idx] ** 2).sum(), x0)
+
+    def test_reshape_transpose_grad(self, rng):
+        x0 = rng.normal(size=(4, 6))
+        check_gradient(lambda x: (x.reshape(2, 12).T * 2.0).sum(), x0)
+
+    def test_exp_log_tanh_grad(self, rng):
+        x0 = np.abs(rng.normal(size=(4,))) + 0.5
+        check_gradient(lambda x: (x.exp() + x.log() + x.tanh()).sum(), x0)
+
+    def test_mean_grad(self, rng):
+        x0 = rng.normal(size=(3, 5))
+        check_gradient(lambda x: x.mean(), x0)
+
+    def test_sum_axis_keepdims(self, rng):
+        x0 = rng.normal(size=(3, 5))
+        check_gradient(lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), x0)
+
+
+class TestEngineBehaviour:
+    def test_grad_accumulates_across_backward_calls(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        (x * 2.0).sum().backward()
+        first = x.grad.copy()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * first)
+
+    def test_shared_subexpression_grad(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = x * 2.0
+        loss = (y * y).sum()
+        loss.backward()
+        np.testing.assert_allclose(x.grad, 8.0 * x.data)
+
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        y = x * 2.0
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(x.grad, 2.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = (x * 5.0).sum()
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 3.0).detach()
+        assert not y.requires_grad
+
+    def test_integer_tensor_cannot_require_grad(self):
+        with pytest.raises(TypeError):
+            Tensor(np.array([1, 2, 3]), requires_grad=True)
+
+    def test_backward_without_requires_grad_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,138 @@
+"""Tests for neural-network ops: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+from tests.test_tensor_autograd import check_gradient
+
+
+class TestActivations:
+    def test_relu_values(self):
+        x = Tensor(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(ops.relu(x).data, [0.0, 0.0, 2.0])
+
+    def test_silu_matches_definition(self, rng):
+        x = rng.normal(size=(10,))
+        expected = x / (1 + np.exp(-x))
+        np.testing.assert_allclose(ops.silu(Tensor(x)).data, expected)
+
+    def test_activation_grads(self, rng):
+        x0 = rng.normal(size=(4, 3))
+        check_gradient(lambda x: ops.silu(x).sum(), x0)
+        check_gradient(lambda x: ops.gelu(x).sum(), x0)
+        check_gradient(lambda x: ops.relu(x).sum(), x0.copy() + 0.1)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        x = Tensor(rng.normal(size=(5, 7)))
+        out = ops.softmax(x).data
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0)
+        assert (out > 0).all()
+
+    def test_softmax_grad(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        w = rng.normal(size=(3, 4))
+        check_gradient(lambda x: (ops.softmax(x) * Tensor(w)).sum(), x0)
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(4, 6)))
+        np.testing.assert_allclose(
+            np.exp(ops.log_softmax(x).data), ops.softmax(x).data, atol=1e-12
+        )
+
+
+class TestLayerNormEmbedding:
+    def test_layer_norm_statistics(self, rng):
+        x = Tensor(rng.normal(size=(6, 16)) * 5 + 3)
+        w = Tensor(np.ones(16))
+        b = Tensor(np.zeros(16))
+        out = ops.layer_norm(x, w, b).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_layer_norm_grad(self, rng):
+        x0 = rng.normal(size=(3, 8))
+        w = Tensor(rng.normal(size=(8,)) + 1.0)
+        b = Tensor(rng.normal(size=(8,)))
+        check_gradient(lambda x: (ops.layer_norm(x, w, b) ** 2).sum(), x0, atol=1e-4)
+
+    def test_embedding_lookup_and_grad(self, rng):
+        table = Tensor(rng.normal(size=(10, 4)), requires_grad=True)
+        idx = np.array([1, 3, 3, 7])
+        out = ops.embedding(table, idx)
+        np.testing.assert_allclose(out.data, table.data[idx])
+        out.sum().backward()
+        # Row 3 used twice -> gradient 2, rows 1 and 7 once, others 0.
+        assert table.grad[3, 0] == pytest.approx(2.0)
+        assert table.grad[1, 0] == pytest.approx(1.0)
+        assert table.grad[0, 0] == pytest.approx(0.0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self, rng):
+        logits = rng.normal(size=(5, 8))
+        targets = rng.integers(0, 8, size=5)
+        loss = ops.cross_entropy(Tensor(logits), targets)
+        log_probs = logits - np.log(np.exp(logits).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(5), targets].mean()
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_gradient(self, rng):
+        logits0 = rng.normal(size=(4, 6))
+        targets = rng.integers(0, 6, size=4)
+        check_gradient(lambda x: ops.cross_entropy(x, targets), logits0)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((3, 4), -20.0)
+        targets = np.array([0, 1, 2])
+        logits[np.arange(3), targets] = 20.0
+        loss = ops.cross_entropy(Tensor(logits), targets)
+        assert float(loss.data) < 1e-6
+
+    def test_target_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.cross_entropy(Tensor(np.zeros((3, 4))), np.zeros(2, dtype=int))
+
+
+class TestRoutingPrimitives:
+    def test_gather_scatter_roundtrip(self, rng):
+        x = Tensor(rng.normal(size=(6, 4)), requires_grad=True)
+        row_ids = np.array([0, 1, 2, 3, 4, 5])
+        gathered = ops.gather_rows(x, row_ids)
+        back = ops.scatter_rows(gathered, row_ids, 6)
+        np.testing.assert_allclose(back.data, x.data)
+
+    def test_scatter_rows_accumulates_duplicates(self, rng):
+        x = Tensor(np.ones((3, 2)))
+        out = ops.scatter_rows(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[2, 2], [1, 1]])
+
+    def test_scatter_with_weights_grad(self, rng):
+        x0 = rng.normal(size=(5, 3))
+        weights = rng.uniform(0.5, 1.5, size=5)
+        row_ids = np.array([0, 1, 1, 2, 0])
+        check_gradient(
+            lambda x: (ops.scatter_rows(x, row_ids, 3, weights=weights) ** 2).sum(), x0
+        )
+
+    def test_gather_rows_grad(self, rng):
+        x0 = rng.normal(size=(4, 3))
+        row_ids = np.array([1, 1, 3, 0, 2])
+        check_gradient(lambda x: (ops.gather_rows(x, row_ids) ** 2).sum(), x0)
+
+    def test_topk_returns_sorted_descending(self, rng):
+        x = rng.normal(size=(6, 10))
+        vals, idx = ops.topk(x, 4)
+        assert vals.shape == (6, 4) and idx.shape == (6, 4)
+        assert (np.diff(vals, axis=-1) <= 1e-12).all()
+        np.testing.assert_allclose(np.take_along_axis(x, idx, axis=-1), vals)
+
+    def test_topk_k_out_of_range(self, rng):
+        with pytest.raises(ValueError):
+            ops.topk(rng.normal(size=(2, 3)), 4)
+
+    def test_concat_and_stack_grads(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(4, 3)))
+        check_gradient(lambda a: (ops.concat([a, b], axis=0) ** 2).sum(), a0)
+        check_gradient(lambda a: (ops.stack([a, a], axis=0) ** 2).sum(), a0)

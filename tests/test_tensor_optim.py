@@ -1,0 +1,95 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Adam, SGD, Tensor
+
+
+def quadratic_loss(params):
+    """Simple convex loss: sum of squares of all parameters."""
+    loss = None
+    for p in params:
+        term = (p * p).sum()
+        loss = term if loss is None else loss + term
+    return loss
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self, rng):
+        p = Tensor(rng.normal(size=(8,)), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss([p]).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-6
+
+    def test_momentum_state_bytes(self, rng):
+        p = Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        assert SGD([p], lr=0.1).state_bytes == 0
+        assert SGD([p], lr=0.1, momentum=0.9).state_bytes == p.data.nbytes
+
+    def test_rejects_bad_lr(self, rng):
+        p = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+
+    def test_skips_params_without_grad(self, rng):
+        p = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        before = p.data.copy()
+        opt.step()  # no grads yet
+        np.testing.assert_allclose(p.data, before)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self, rng):
+        p = Tensor(rng.normal(size=(8,)), requires_grad=True)
+        opt = Adam([p], lr=0.05)
+        for _ in range(600):
+            opt.zero_grad()
+            quadratic_loss([p]).backward()
+            opt.step()
+        assert np.abs(p.data).max() < 1e-2
+
+    def test_state_bytes_is_two_buffers(self, rng):
+        p = Tensor(rng.normal(size=(10,)), requires_grad=True)
+        opt = Adam([p])
+        assert opt.state_bytes == 2 * p.data.nbytes
+
+    def test_weight_decay_shrinks_params(self, rng):
+        p = Tensor(np.ones(4) * 10.0, requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (p.sum() * 0.0 + (p * 0).sum()).backward()  # zero task gradient
+            opt.step()
+        assert np.abs(p.data).max() < 10.0
+
+    def test_rejects_non_grad_params(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.ones(3))])
+
+    def test_rejects_empty_param_list(self):
+        with pytest.raises(ValueError):
+            Adam([])
+
+    def test_rejects_bad_betas(self, rng):
+        p = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([p], betas=(1.0, 0.9))
+
+    def test_zero_grad_clears_all(self, rng):
+        p1 = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        p2 = Tensor(rng.normal(size=(2,)), requires_grad=True)
+        opt = Adam([p1, p2])
+        quadratic_loss([p1, p2]).backward()
+        assert p1.grad is not None and p2.grad is not None
+        opt.zero_grad()
+        assert p1.grad is None and p2.grad is None
+
+    def test_num_params(self, rng):
+        p1 = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        p2 = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        assert Adam([p1, p2]).num_params == 17

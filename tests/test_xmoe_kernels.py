@@ -1,0 +1,126 @@
+"""Tests for the padding-free kernels and the kernel cost model."""
+
+import numpy as np
+import pytest
+
+from repro.config import A100_40GB, MI250X_GCD
+from repro.xmoe import KernelCostModel, gather_kernel, scatter_kernel, sequential_gemm
+
+
+class TestGatherScatter:
+    def test_gather_matches_fancy_indexing(self, rng):
+        src = rng.normal(size=(20, 8))
+        ids = rng.integers(0, 20, size=33)
+        np.testing.assert_array_equal(gather_kernel(src, ids), src[ids])
+
+    def test_gather_validates_range(self, rng):
+        with pytest.raises(ValueError):
+            gather_kernel(rng.normal(size=(4, 2)), np.array([0, 4]))
+
+    def test_scatter_applies_weights_and_sums(self, rng):
+        rows = rng.normal(size=(4, 3))
+        ids = np.array([1, 1, 0, 2])
+        weights = np.array([0.5, 2.0, 1.0, 3.0])
+        out = scatter_kernel(rows, ids, weights, num_tokens=4)
+        np.testing.assert_allclose(out[1], 0.5 * rows[0] + 2.0 * rows[1])
+        np.testing.assert_allclose(out[0], rows[2])
+        np.testing.assert_allclose(out[3], 0.0)
+
+    def test_gather_scatter_roundtrip_identity(self, rng):
+        src = rng.normal(size=(10, 5))
+        ids = np.arange(10)
+        out = scatter_kernel(gather_kernel(src, ids), ids, np.ones(10), 10)
+        np.testing.assert_allclose(out, src)
+
+    def test_scatter_validates_shapes(self, rng):
+        with pytest.raises(ValueError):
+            scatter_kernel(rng.normal(size=(3, 2)), np.array([0, 1]), np.ones(3), 4)
+        with pytest.raises(ValueError):
+            scatter_kernel(rng.normal(size=(3, 2)), np.array([0, 1, 9]), np.ones(3), 4)
+
+
+class TestSequentialGemm:
+    def test_matches_per_expert_computation(self, rng):
+        e, h, f = 3, 6, 4
+        w1 = rng.normal(size=(e, h, f))
+        w2 = rng.normal(size=(e, f, h))
+        counts = np.array([2, 0, 3])
+        tokens = rng.normal(size=(5, h))
+        out = sequential_gemm(tokens, w1, w2, counts)
+        # Expert 0 rows.
+        h0 = tokens[:2] @ w1[0]
+        h0 = h0 / (1 + np.exp(-h0))
+        np.testing.assert_allclose(out[:2], h0 @ w2[0])
+        # Expert 2 rows.
+        h2 = tokens[2:] @ w1[2]
+        h2 = h2 / (1 + np.exp(-h2))
+        np.testing.assert_allclose(out[2:], h2 @ w2[2])
+
+    def test_relu_and_identity_activations(self, rng):
+        w1 = rng.normal(size=(1, 4, 3))
+        w2 = rng.normal(size=(1, 3, 4))
+        tokens = rng.normal(size=(2, 4))
+        out = sequential_gemm(tokens, w1, w2, np.array([2]), activation="identity")
+        np.testing.assert_allclose(out, tokens @ w1[0] @ w2[0])
+        out_relu = sequential_gemm(tokens, w1, w2, np.array([2]), activation="relu")
+        np.testing.assert_allclose(out_relu, np.maximum(tokens @ w1[0], 0) @ w2[0])
+        with pytest.raises(ValueError):
+            sequential_gemm(tokens, w1, w2, np.array([2]), activation="nope")
+
+    def test_count_validation(self, rng):
+        w1 = rng.normal(size=(2, 4, 3))
+        w2 = rng.normal(size=(2, 3, 4))
+        with pytest.raises(ValueError):
+            sequential_gemm(rng.normal(size=(3, 4)), w1, w2, np.array([1, 1]))
+        with pytest.raises(ValueError):
+            sequential_gemm(rng.normal(size=(2, 4)), w1, w2, np.array([2]))
+
+
+class TestKernelCostModel:
+    def test_coalesced_faster_than_uncoalesced(self):
+        model = KernelCostModel(MI250X_GCD)
+        fast = model.gather_time(10000, 4096, coalesced=True)
+        slow = model.gather_time(10000, 4096, coalesced=False)
+        assert slow > 3 * fast
+
+    def test_padding_free_dispatch_cheaper_than_einsum(self):
+        """Fig. 11's buffer-dispatch speedup: the gather over k*T real rows
+        must be far cheaper than the [S, E, C] einsum."""
+        model = KernelCostModel(MI250X_GCD)
+        tokens, e, k, h = 2048, 64, 6, 2048
+        capacity = int(np.ceil(1.25 * tokens * k / e))
+        gather = model.gather_time(k * tokens, h)
+        einsum = model.einsum_dispatch_time(tokens, e, capacity, h)
+        assert einsum > 5 * gather
+
+    def test_sequential_gemm_scales_with_tokens(self):
+        model = KernelCostModel(MI250X_GCD)
+        small = model.sequential_gemm_time(np.full(8, 64), 1024, 512)
+        large = model.sequential_gemm_time(np.full(8, 640), 1024, 512)
+        assert large > small
+
+    def test_padded_gemm_charges_for_padding(self):
+        """The padded batched GEMM pays for capacity-sized buffers even when
+        most slots are empty."""
+        model = KernelCostModel(MI250X_GCD)
+        padded = model.padded_expert_gemm_time(8, capacity=512, hidden=1024, ffn_hidden=512)
+        real = model.sequential_gemm_time(np.full(8, 128), 1024, 512)
+        assert padded > real
+
+    def test_empty_experts_skip_launch_overhead(self):
+        model = KernelCostModel(MI250X_GCD)
+        sparse = model.sequential_gemm_time(np.array([100, 0, 0, 0]), 256, 128)
+        dense = model.sequential_gemm_time(np.array([25, 25, 25, 25]), 256, 128)
+        # Same FLOPs, fewer launches.
+        assert sparse < dense
+
+    def test_gating_time_positive_and_scales(self):
+        model = KernelCostModel(A100_40GB)
+        assert model.gating_time(4096, 2048, 256) > model.gating_time(1024, 2048, 256) > 0
+
+    def test_faster_gpu_is_faster(self):
+        mi = KernelCostModel(MI250X_GCD, gemm_efficiency=0.5)
+        a100 = KernelCostModel(A100_40GB, gemm_efficiency=0.5)
+        assert a100.padded_expert_gemm_time(4, 256, 1024, 512) < mi.padded_expert_gemm_time(
+            4, 256, 1024, 512
+        )

@@ -1,0 +1,178 @@
+"""Tests for the memory model: Table 2, Table 4, Fig. 3, trainability."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    MI250X_GCD,
+    ParallelConfig,
+    ZeroStage,
+    make_equivalent_pair,
+    paper_config,
+)
+from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+
+@pytest.fixture
+def large_parallel():
+    return ParallelConfig(
+        world_size=256, ep_size=64, tp_size=1, micro_batch_size=1, global_batch_size=1024
+    )
+
+
+@pytest.fixture
+def large_memory(large_parallel):
+    return MoEMemoryModel(paper_config("large"), large_parallel)
+
+
+class TestTable4ActivationMemory:
+    def test_theoretical_minimum(self, large_memory):
+        """Theoretical per-layer activation for the Large model is 1.125 GB."""
+        total = large_memory.moe_layer_activations(SystemKind.THEORETICAL).total()
+        assert total / 2**30 == pytest.approx(1.125, rel=0.01)
+
+    def test_ordering_matches_table4(self, large_memory):
+        """DS-MoE > Tutel > X-MoE > theoretical (2.81 / 1.95 / 1.21 / 1.125 GB)."""
+        values = {
+            kind: large_memory.moe_layer_activations(kind).total() / 2**30
+            for kind in (
+                SystemKind.DEEPSPEED_MOE,
+                SystemKind.TUTEL,
+                SystemKind.XMOE,
+                SystemKind.THEORETICAL,
+            )
+        }
+        assert (
+            values[SystemKind.DEEPSPEED_MOE]
+            > values[SystemKind.TUTEL]
+            > values[SystemKind.XMOE]
+            > values[SystemKind.THEORETICAL]
+        )
+        assert values[SystemKind.TUTEL] == pytest.approx(1.95, rel=0.1)
+        assert values[SystemKind.XMOE] == pytest.approx(1.21, rel=0.1)
+        assert values[SystemKind.DEEPSPEED_MOE] == pytest.approx(2.81, rel=0.25)
+
+    def test_xmoe_close_to_theoretical(self, large_memory):
+        xmoe = large_memory.moe_layer_activations(SystemKind.XMOE).total()
+        theory = large_memory.moe_layer_activations(SystemKind.THEORETICAL).total()
+        assert xmoe / theory < 1.15
+
+    def test_tutel_fp32_combine(self, large_memory):
+        tutel = large_memory.moe_layer_activations(SystemKind.TUTEL)
+        xmoe = large_memory.moe_layer_activations(SystemKind.XMOE)
+        assert tutel.a_combine > 1.9 * xmoe.a_combine
+
+    def test_dsmoe_mask_is_large(self, large_memory):
+        ds = large_memory.moe_layer_activations(SystemKind.DEEPSPEED_MOE)
+        assert ds.dispatch_mask > 0
+        assert ds.gating_workspace > ds.dispatch_mask  # includes fp32 copy
+
+
+class TestBottleneckShift:
+    def test_fig3_dispatch_dominates_in_specialized_moe(self):
+        """In M_spec the dispatch/combine activations dominate; in M_conv the
+        model states dominate the per-layer footprint (Fig. 3)."""
+        pair = make_equivalent_pair(4096, 16384, 16, 8, seq_length=2048, num_layers=1)
+        parallel = ParallelConfig(
+            world_size=256, ep_size=128, micro_batch_size=1, global_batch_size=1024
+        )
+        spec_model = pair.specialized.scaled(num_experts=128)
+        conv_model = pair.conventional.scaled(num_experts=128)
+        spec = MoEMemoryModel(spec_model, parallel).moe_layer_activations(SystemKind.XMOE)
+        conv = MoEMemoryModel(conv_model, parallel).moe_layer_activations(SystemKind.XMOE)
+        # Dispatch/combine grow ~m-fold; FFN intermediates stay constant.
+        assert spec.a_dispatch == pytest.approx(8 * conv.a_dispatch, rel=0.01)
+        assert spec.a_interm0 == pytest.approx(conv.a_interm0, rel=0.01)
+        spec_ratio = (spec.a_dispatch + spec.a_combine) / spec.total()
+        conv_ratio = (conv.a_dispatch + conv.a_combine) / conv.total()
+        assert spec_ratio > conv_ratio
+
+    def test_table2_scaling_with_m(self):
+        """A_dispatch scales linearly with the fine-grained factor m."""
+        parallel = ParallelConfig(world_size=64, ep_size=64, global_batch_size=64)
+        base = paper_config("small")
+        doubled_k = base.scaled(top_k=12)
+        a1 = MoEMemoryModel(base, parallel).moe_layer_activations(SystemKind.THEORETICAL)
+        a2 = MoEMemoryModel(doubled_k, parallel).moe_layer_activations(SystemKind.THEORETICAL)
+        assert a2.a_dispatch == pytest.approx(2 * a1.a_dispatch)
+
+
+class TestModelStates:
+    def test_zero_stages_monotonically_reduce_memory(self):
+        model = paper_config("medium")
+        totals = []
+        for stage in (ZeroStage.NONE, ZeroStage.OPTIMIZER, ZeroStage.GRADIENTS, ZeroStage.PARAMS):
+            parallel = ParallelConfig(
+                world_size=256, ep_size=64, zero_stage=stage, global_batch_size=1024
+            )
+            totals.append(MoEMemoryModel(model, parallel).model_states_per_device())
+        assert all(a >= b for a, b in zip(totals, totals[1:]))
+
+    def test_larger_ep_reduces_expert_states(self):
+        model = paper_config("large")
+        small_ep = ParallelConfig(world_size=256, ep_size=32, global_batch_size=1024)
+        big_ep = ParallelConfig(world_size=256, ep_size=256, global_batch_size=1024)
+        assert (
+            MoEMemoryModel(model, big_ep).model_states_per_device()
+            < MoEMemoryModel(model, small_ep).model_states_per_device()
+        )
+
+    def test_ted_tp_slices_expert_states(self):
+        model = paper_config("large")
+        parallel = ParallelConfig(world_size=256, ep_size=64, tp_size=4, global_batch_size=1024)
+        mm = MoEMemoryModel(model, parallel)
+        assert mm.model_states_per_device(SystemKind.DEEPSPEED_TED) < mm.model_states_per_device(
+            SystemKind.XMOE
+        )
+
+
+class TestTrainability:
+    def test_fig9_large_model_verdicts(self, large_parallel):
+        """On 256 GPUs the Large model OOMs under the padded baselines but
+        fits under X-MoE (with SSMB at TP>=2)."""
+        model = paper_config("large")
+        for kind in (SystemKind.DEEPSPEED_MOE, SystemKind.TUTEL):
+            assert not MoEMemoryModel(model, large_parallel).fits(kind)
+        ssmb_parallel = ParallelConfig(
+            world_size=256,
+            ep_size=64,
+            tp_size=2,
+            use_ssmb=True,
+            zero_stage=ZeroStage.GRADIENTS,
+            micro_batch_size=1,
+            global_batch_size=1024,
+        )
+        assert MoEMemoryModel(model, ssmb_parallel).fits(SystemKind.XMOE)
+
+    def test_small_model_fits_everywhere(self):
+        model = paper_config("small")
+        parallel = ParallelConfig(world_size=256, ep_size=64, global_batch_size=1024)
+        mm = MoEMemoryModel(model, parallel)
+        for kind in (SystemKind.DEEPSPEED_MOE, SystemKind.TUTEL, SystemKind.XMOE):
+            assert mm.fits(kind)
+
+    def test_report_fields(self, large_memory):
+        report = large_memory.report(SystemKind.XMOE)
+        assert report.total_bytes == report.model_states_bytes + report.activation_bytes
+        assert report.capacity_bytes == MI250X_GCD.memory_bytes
+        assert report.total_gb > 0
+        assert isinstance(report.fits, bool)
+
+    def test_activation_checkpointing_reduces_activations(self):
+        model = paper_config("large")
+        base = ParallelConfig(world_size=256, ep_size=64, global_batch_size=1024)
+        ckpt = base.with_overrides(activation_checkpointing=True)
+        mm_base = MoEMemoryModel(model, base)
+        mm_ckpt = MoEMemoryModel(model, ckpt)
+        assert mm_ckpt.activation_bytes_per_device(SystemKind.XMOE) < mm_base.activation_bytes_per_device(
+            SystemKind.XMOE
+        )
+
+    def test_ssmb_reduces_tokens_per_device(self):
+        model = paper_config("large")
+        parallel = ParallelConfig(
+            world_size=256, ep_size=64, tp_size=4, use_ssmb=True, global_batch_size=1024
+        )
+        mm = MoEMemoryModel(model, parallel)
+        assert mm.tokens_per_device(SystemKind.XMOE) == model.seq_length // 4
+        assert mm.tokens_per_device(SystemKind.DEEPSPEED_MOE) == model.seq_length

@@ -1,0 +1,128 @@
+"""Tests for Sequence-Sharded MoE Blocks and the SSMB/TED trade-off formulas."""
+
+import numpy as np
+import pytest
+
+from repro.comm import CommWorld
+from repro.config import ParallelConfig, large_config, paper_config
+from repro.moe import ExpertBank, TopKGate
+from repro.tensor import Tensor
+from repro.xmoe import PaddingFreeMoELayer, SequenceShardedMoEBlock, ssmb_activation_saving_bytes
+from repro.xmoe.ssmb import shard_bounds, ssmb_beats_ted, ssmb_model_state_cost_bytes
+
+
+def make_moe_fn(seed=0, h=16, e=8, k=2, f=12):
+    """A deterministic numpy MoE layer closure over shared weights."""
+    gate = TopKGate(h, e, k, rng=np.random.default_rng(seed))
+    experts = ExpertBank(e, h, f, rng=np.random.default_rng(seed + 1))
+    layer = PaddingFreeMoELayer(gate, experts, capacity_factor=100.0)
+
+    def fn(chunk: np.ndarray) -> np.ndarray:
+        out, _ = layer(Tensor(chunk))
+        return out.data
+
+    return fn
+
+
+class TestShardBounds:
+    def test_shards_cover_sequence(self):
+        for s, g in [(64, 4), (65, 4), (7, 3)]:
+            covered = []
+            for r in range(g):
+                info = shard_bounds(s, r, g)
+                covered.extend(range(info.start, info.stop))
+            assert covered == list(range(s))
+
+    def test_balanced_lengths(self):
+        lengths = [shard_bounds(66, r, 4).length for r in range(4)]
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_out_of_range_rank(self):
+        with pytest.raises(ValueError):
+            shard_bounds(16, 4, 4)
+
+
+class TestSequenceShardedMoEBlock:
+    def test_matches_unsharded_computation(self, rng):
+        """Token-wise independence: shard + process + gather == process whole."""
+        moe_fn = make_moe_fn()
+        sequence = rng.normal(size=(48, 16))
+        unsharded = moe_fn(sequence)
+        for tp in (2, 3, 4):
+            block = SequenceShardedMoEBlock(moe_fn, tp_size=tp)
+            np.testing.assert_allclose(block.forward(sequence), unsharded, atol=1e-10)
+
+    def test_with_real_allgather(self, rng):
+        moe_fn = make_moe_fn()
+        world = CommWorld(num_ranks=4)
+        block = SequenceShardedMoEBlock(moe_fn, tp_size=4, tp_group=world.world_group())
+        sequence = rng.normal(size=(32, 16))
+        out = block.forward(sequence)
+        np.testing.assert_allclose(out, moe_fn(sequence), atol=1e-10)
+        assert any(e.op == "ssmb_allgather" for e in world.stats.events)
+
+    def test_activation_scale(self):
+        block = SequenceShardedMoEBlock(lambda x: x, tp_size=4)
+        assert block.activation_scale() == pytest.approx(0.25)
+
+    def test_shard_slices(self, rng):
+        block = SequenceShardedMoEBlock(lambda x: x, tp_size=4)
+        seq = rng.normal(size=(16, 8))
+        np.testing.assert_array_equal(block.shard(seq, 1), seq[4:8])
+
+    def test_group_size_mismatch_rejected(self):
+        world = CommWorld(num_ranks=4)
+        with pytest.raises(ValueError):
+            SequenceShardedMoEBlock(lambda x: x, tp_size=2, tp_group=world.world_group())
+
+
+class TestSSMBFormulas:
+    def test_activation_saving_grows_with_tp(self):
+        savings = [
+            ssmb_activation_saving_bytes(4096, 7168, 8, 1.25, g) for g in (1, 2, 4, 8)
+        ]
+        assert savings[0] == 0.0
+        assert all(b > a for a, b in zip(savings, savings[1:]))
+
+    def test_eq1_formula(self):
+        # 4 * c * k * S * H * (G-1)/G with bf16 elements.
+        val = ssmb_activation_saving_bytes(4096, 7168, 8, 1.0, 2, dtype_bytes=2)
+        assert val == pytest.approx(4 * 8 * 4096 * 7168 * 0.5)
+
+    def test_model_state_cost_lower_bound(self):
+        # Eq. 2 with EP = E reduces to 8 * H_FFN * H * (G-1)/G.
+        cost = ssmb_model_state_cost_bytes(7168, 2048, 2, num_experts=256, ep_size=256)
+        assert cost == pytest.approx(8 * 2048 * 7168 * 0.5)
+
+    def test_deepseek_style_prefers_ssmb(self):
+        assert ssmb_beats_ted(paper_config("large"))
+        assert ssmb_beats_ted(paper_config("small"))
+
+    def test_mixtral_style_prefers_ted(self):
+        mixtral_like = large_config().scaled(
+            name="mixtral-like", ffn_hidden_size=14336, num_experts=8, top_k=2
+        )
+        assert not ssmb_beats_ted(mixtral_like)
+
+    def test_invalid_tp_rejected(self):
+        with pytest.raises(ValueError):
+            ssmb_activation_saving_bytes(4096, 7168, 8, 1.25, 0)
+
+
+class TestSSMBMemoryIntegration:
+    def test_fig13_shape(self):
+        """Fig. 13: with SSMB memory drops as TP grows; the gap widens."""
+        from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
+
+        model = paper_config("large")
+        gaps = []
+        for tp in (2, 4):
+            with_ssmb = ParallelConfig(
+                world_size=256, ep_size=64, tp_size=tp, use_ssmb=True, global_batch_size=1024
+            )
+            without = with_ssmb.with_overrides(use_ssmb=False)
+            mem_with = MoEMemoryModel(model, with_ssmb).report(SystemKind.XMOE).total_gb
+            mem_without = MoEMemoryModel(model, without).report(SystemKind.XMOE).total_gb
+            assert mem_with < mem_without
+            gaps.append(mem_without - mem_with)
+        assert gaps[1] > gaps[0]
