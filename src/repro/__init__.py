@@ -16,6 +16,9 @@ Top-level layout (see DESIGN.md for the experiment index):
 * :mod:`repro.tensor` — minimal reverse-mode autograd over numpy.
 * :mod:`repro.moe` — gating, experts, transformer blocks, synthetic data.
 * :mod:`repro.baselines` — DeepSpeed-MoE, Tutel, DeepSpeed-TED, Megablocks.
+* :mod:`repro.routing` — the vectorized routing-plan engine: one dispatch
+  abstraction (plan → dispatch → run_experts → combine) behind which flat
+  all-to-all and RBD are two planners producing numpy DispatchPlans.
 * :mod:`repro.xmoe` — the X-MoE contribution: PFT, padding-free pipeline,
   RBD, SSMB, parallelism planning, memory and performance models, trainer.
 * :mod:`repro.analysis` — redundancy / trade-off / sensitivity analyses.
@@ -23,7 +26,7 @@ Top-level layout (see DESIGN.md for the experiment index):
 
 __version__ = "0.1.0"
 
-from repro import analysis, baselines, cluster, comm, config, moe, tensor, xmoe
+from repro import analysis, baselines, cluster, comm, config, moe, routing, tensor, xmoe
 
 __all__ = [
     "config",
@@ -32,6 +35,7 @@ __all__ = [
     "tensor",
     "moe",
     "baselines",
+    "routing",
     "xmoe",
     "analysis",
     "__version__",

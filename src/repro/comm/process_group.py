@@ -248,6 +248,73 @@ class ProcessGroup:
                 out.append(np.empty((0,)))
         return out, recv_splits
 
+    def alltoallv_planned(
+        self,
+        buffers: list[np.ndarray],
+        send_splits: list[np.ndarray],
+        recv_splits: list[np.ndarray] | None = None,
+        *,
+        op_name: str = "alltoallv",
+    ):
+        """Uneven all-to-all whose splits come from a precomputed routing plan.
+
+        Unlike :meth:`alltoallv`, the per-pair byte/tier accounting is
+        computed directly from the plan's splits (``rows x row_bytes``)
+        instead of being re-derived from per-chunk payloads.  When
+        ``recv_splits`` is provided it is validated against the send-split
+        transpose (catching stale plans) and returned as-is.  Semantics
+        are identical: rank ``i`` sends the first ``send_splits[i][0]``
+        rows of ``buffers[i]`` to rank 0, the next ``send_splits[i][1]``
+        rows to rank 1, and so on.  Returns
+        ``(received_buffers, recv_splits)``.
+        """
+        size = self.size
+        if len(buffers) != size or len(send_splits) != size:
+            raise ValueError("buffers and send_splits must both have group-size entries")
+        splits_mat = np.stack(
+            [np.asarray(s, dtype=np.int64) for s in send_splits]
+        )
+        if splits_mat.shape != (size, size):
+            raise ValueError(
+                f"send_splits must be {size} arrays of {size} entries each"
+            )
+        row_bytes = np.array(
+            [b.itemsize * int(np.prod(b.shape[1:])) for b in buffers],
+            dtype=np.float64,
+        )
+        row_counts = splits_mat.sum(axis=1)
+        for i, buf in enumerate(buffers):
+            if row_counts[i] != buf.shape[0]:
+                raise ValueError(
+                    f"rank {i} send_splits sum {row_counts[i]} != buffer rows {buf.shape[0]}"
+                )
+        if recv_splits is not None and not np.array_equal(
+            np.stack([np.asarray(s, dtype=np.int64) for s in recv_splits]),
+            splits_mat.T,
+        ):
+            raise ValueError(
+                "recv_splits do not match the transpose of send_splits "
+                "(stale or mismatched plan)"
+            )
+        traffic = splits_mat * row_bytes[:, None]
+        estimate = self.world.network.alltoall_time(traffic, self._global)
+        self._record(op_name, traffic, estimate)
+
+        offsets = np.concatenate(
+            [np.zeros((size, 1), dtype=np.int64), np.cumsum(splits_mat, axis=1)],
+            axis=1,
+        )
+        received = [
+            np.concatenate(
+                [buffers[i][offsets[i, j] : offsets[i, j + 1]] for i in range(size)],
+                axis=0,
+            )
+            for j in range(size)
+        ]
+        if recv_splits is None:
+            recv_splits = [splits_mat[:, j].copy() for j in range(size)]
+        return received, recv_splits
+
     def allgather(self, buffers: list[np.ndarray], *, op_name: str = "allgather"):
         """All-gather along axis 0: every rank receives the concatenation of
         all ranks' buffers (in rank order)."""

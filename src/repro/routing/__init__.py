@@ -1,0 +1,34 @@
+"""repro.routing — the vectorized routing-plan engine.
+
+One dispatch abstraction for flat all-to-all and redundancy-bypassing
+dispatch:
+
+* :mod:`repro.routing.plan` — :class:`DispatchPlan`, all dispatch/combine
+  bookkeeping as flat numpy arrays built once per step.
+* :mod:`repro.routing.planner` — :class:`FlatPlanner` (single uneven
+  all-to-all; the RBD correctness oracle) and :class:`RBDPlanner`
+  (two-stage, pilot/replica) compile PFTs into plans with whole-array
+  numpy operations only.
+* :mod:`repro.routing.engine` — the :class:`Dispatcher` protocol
+  (``plan → dispatch → run_experts → combine``) and
+  :class:`PlanDispatcher`, the thin executor that interprets a plan.
+
+The legacy classes :class:`repro.xmoe.pipeline.DistributedMoEDispatcher`
+and :class:`repro.xmoe.rbd.RBDDispatcher` are now wrappers over this
+engine.
+"""
+
+from repro.routing.plan import DispatchPlan
+from repro.routing.planner import FlatPlanner, RBDPlan, RBDPlanner, select_pilots
+from repro.routing.engine import Dispatcher, PlanDispatcher, make_dispatcher
+
+__all__ = [
+    "DispatchPlan",
+    "Dispatcher",
+    "FlatPlanner",
+    "PlanDispatcher",
+    "RBDPlan",
+    "RBDPlanner",
+    "make_dispatcher",
+    "select_pilots",
+]

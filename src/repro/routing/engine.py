@@ -1,0 +1,285 @@
+"""Plan execution: one thin engine for flat and RBD dispatch.
+
+:class:`PlanDispatcher` implements the :class:`Dispatcher` protocol —
+``plan → dispatch → run_experts → combine`` — by *interpreting* a
+:class:`~repro.routing.plan.DispatchPlan`.  Every data movement is a buffer
+slice plus a planned uneven all-to-all
+(:meth:`~repro.comm.process_group.ProcessGroup.alltoallv_planned`), so the
+per-op byte and tier accounting is computed from the plan's splits rather
+than re-derived from the payloads, and the hot path contains no per-row
+Python loops.
+
+Bit-identical combine
+---------------------
+The combine stage folds weighted expert outputs into per-(token, node)
+partial sums and then folds the partials in (token, node) order.  Both the
+flat and the RBD plan drive the *same* fold orders (the plan's
+``merge_perm`` / ``combine_perm`` encode the (slot, expert) ordering), so
+the redundancy-bypassing path returns outputs exactly equal to the flat
+oracle — not merely close.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
+from repro.routing.plan import DispatchPlan
+from repro.routing.planner import FlatPlanner, RBDPlanner, _PlannerBase
+
+
+#: op names recorded in CommStats per plan kind:
+#: (stage-1 dispatch, stage-2 replicas, combine stage C1, combine stage C2)
+_OP_NAMES = {
+    "flat": ("dispatch_a2a", None, None, "combine_a2a"),
+    "rbd": ("rbd_s1_a2a", "rbd_s2_a2a", "rbd_c1_a2a", "rbd_c2_a2a"),
+}
+
+
+@runtime_checkable
+class Dispatcher(Protocol):
+    """The dispatch abstraction shared by the flat and RBD paths."""
+
+    def plan(self, per_rank_pfts: list, *, step: int | None = None) -> DispatchPlan:
+        ...
+
+    def dispatch(
+        self,
+        per_rank_tokens: list[np.ndarray],
+        per_rank_pfts: list,
+        *,
+        plan: DispatchPlan | None = None,
+        step: int | None = None,
+    ) -> tuple[list[np.ndarray], DispatchPlan]:
+        ...
+
+    def run_experts(
+        self,
+        expert_inputs: list[np.ndarray],
+        plan: DispatchPlan,
+        per_rank_w1: list[np.ndarray],
+        per_rank_w2: list[np.ndarray],
+        *,
+        activation: str = "silu",
+    ) -> list[np.ndarray]:
+        ...
+
+    def combine(
+        self,
+        per_rank_expert_outputs: list[np.ndarray],
+        plan: DispatchPlan,
+        num_tokens_per_rank: list[int],
+    ) -> list[np.ndarray]:
+        ...
+
+
+class PlanDispatcher:
+    """Executes :class:`DispatchPlan` objects built by a planner."""
+
+    def __init__(self, group: ProcessGroup, planner: _PlannerBase):
+        self.group = group
+        self.planner = planner
+        self._node_groups: list[ProcessGroup] | None = None
+
+    # -- conveniences ---------------------------------------------------
+    @property
+    def num_experts(self) -> int:
+        return self.planner.num_experts
+
+    @property
+    def expert_to_rank(self) -> np.ndarray:
+        return self.planner.expert_to_rank
+
+    @property
+    def rank_to_node(self) -> np.ndarray:
+        return self.planner.rank_to_node
+
+    def experts_on_rank(self, local_rank: int) -> np.ndarray:
+        return self.planner.experts_on_rank(local_rank)
+
+    def node_groups(self) -> list[ProcessGroup]:
+        """Intra-node subgroups, aligned with the plan's ``node_members``."""
+        if self._node_groups is None:
+            self._node_groups = self.group.node_local_subgroups()
+        return self._node_groups
+
+    # ------------------------------------------------------------------
+    def plan(self, per_rank_pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Build the routing plan for one step (no data is moved)."""
+        return self.planner.build(per_rank_pfts, step=step)
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        per_rank_tokens: list[np.ndarray],
+        per_rank_pfts: list,
+        *,
+        plan: DispatchPlan | None = None,
+        step: int | None = None,
+    ) -> tuple[list[np.ndarray], DispatchPlan]:
+        """Route tokens to their expert-hosting ranks as the plan dictates."""
+        size = self.group.size
+        if len(per_rank_tokens) != size or len(per_rank_pfts) != size:
+            raise ValueError("need one token buffer and one PFT per group rank")
+        if plan is None:
+            plan = self.plan(per_rank_pfts, step=step)
+        hidden = per_rank_tokens[0].shape[1]
+        s1_op, s2_op, _, _ = _OP_NAMES[plan.kind]
+
+        # ---- stage 1: pilots travel to their expert's rank ------------
+        # Gather through the plan's own PFTs: a plan paired with different
+        # (even same-shaped) PFTs must not silently re-route tokens.
+        s1_send = [
+            per_rank_tokens[r][plan.pfts[r].token_ids[plan.send_rows[r]]]
+            for r in range(size)
+        ]
+        s1_recv, _ = self.group.alltoallv_planned(
+            s1_send, plan.send_splits, plan.recv_splits, op_name=s1_op
+        )
+
+        # ---- stage 2: replicas reconstructed and exchanged intra-node --
+        if s2_op is None:
+            arrival = s1_recv
+        else:
+            replica_recv: list[np.ndarray] = [None] * size  # type: ignore[list-item]
+            for members, ng in zip(plan.node_members, self.node_groups()):
+                send_bufs = [s1_recv[m][plan.s2_source_slot[m]] for m in members]
+                recvd, _ = ng.alltoallv_planned(
+                    send_bufs,
+                    [plan.s2_send_splits[m] for m in members],
+                    [plan.s2_recv_splits[m] for m in members],
+                    op_name=s2_op,
+                )
+                for j, m in enumerate(members):
+                    replica_recv[m] = recvd[j]
+            arrival = [
+                np.concatenate([s1_recv[d], replica_recv[d]], axis=0)
+                if replica_recv[d] is not None and replica_recv[d].shape[0]
+                else s1_recv[d]
+                for d in range(size)
+            ]
+
+        expert_inputs = [arrival[d][plan.sort_order[d]] for d in range(size)]
+        # Guard: every destination's buffer must match its arrival table.
+        for d in range(size):
+            if expert_inputs[d].shape != (plan.arrival_src[d].size, hidden):
+                raise ValueError(
+                    f"rank {d}: arrival buffer {expert_inputs[d].shape} does not "
+                    f"match plan ({plan.arrival_src[d].size}, {hidden})"
+                )
+        return expert_inputs, plan
+
+    # ------------------------------------------------------------------
+    def run_experts(
+        self,
+        expert_inputs: list[np.ndarray],
+        plan: DispatchPlan,
+        per_rank_w1: list[np.ndarray],
+        per_rank_w2: list[np.ndarray],
+        *,
+        activation: str = "silu",
+    ) -> list[np.ndarray]:
+        """Run each rank's local experts over its grouped input buffer."""
+        from repro.xmoe.kernels import sequential_gemm
+
+        return [
+            sequential_gemm(
+                expert_inputs[r],
+                per_rank_w1[r],
+                per_rank_w2[r],
+                plan.tokens_per_local_expert[r],
+                activation=activation,
+            )
+            for r in range(self.group.size)
+        ]
+
+    # ------------------------------------------------------------------
+    def combine(
+        self,
+        per_rank_expert_outputs: list[np.ndarray],
+        plan: DispatchPlan,
+        num_tokens_per_rank: list[int],
+    ) -> list[np.ndarray]:
+        """Weighted combine, reversing the dispatch stages of the plan."""
+        size = self.group.size
+        hidden = per_rank_expert_outputs[0].shape[1]
+        dtype = per_rank_expert_outputs[0].dtype
+        _, _, c1_op, c2_op = _OP_NAMES[plan.kind]
+
+        # Undo the by-expert sort and apply the combine weights (the paper
+        # scales before merging so replicas can sum onto their pilot).
+        weighted: list[np.ndarray] = []
+        for d in range(size):
+            un = np.empty_like(per_rank_expert_outputs[d])
+            un[plan.sort_order[d]] = per_rank_expert_outputs[d]
+            weighted.append(un * plan.arrival_weight[d][:, None])
+
+        # ---- stage C1: replica outputs merge onto their pilot ----------
+        if c1_op is None:
+            partials_dest = weighted
+        else:
+            c1_recv: list[np.ndarray] = [None] * size  # type: ignore[list-item]
+            for members, ng in zip(plan.node_members, self.node_groups()):
+                send_bufs = [weighted[m][plan.num_pilot_arrivals[m] :] for m in members]
+                recvd, _ = ng.alltoallv_planned(
+                    send_bufs,
+                    [plan.s2_recv_splits[m] for m in members],
+                    [plan.s2_send_splits[m] for m in members],
+                    op_name=c1_op,
+                )
+                for j, m in enumerate(members):
+                    c1_recv[m] = recvd[j]
+            partials_dest = []
+            for d in range(size):
+                merged = np.zeros((plan.num_pilot_arrivals[d], hidden), dtype=dtype)
+                contributions = np.concatenate(
+                    [weighted[d][: plan.num_pilot_arrivals[d]], c1_recv[d]], axis=0
+                )
+                # merge_perm/merge_slot are already in fold order:
+                # (pilot slot, expert, src, row).
+                np.add.at(
+                    merged, plan.merge_slot[d], contributions[plan.merge_perm[d]]
+                )
+                partials_dest.append(merged)
+
+        # ---- stage C2: per-(token, node) rows return to their source ---
+        returned, _ = self.group.alltoallv_planned(
+            partials_dest, plan.recv_splits, plan.send_splits, op_name=c2_op
+        )
+
+        # ---- source-side fold: partials, then (token, node) order ------
+        outputs: list[np.ndarray] = []
+        for r in range(size):
+            num_partials = plan.num_partials(r)
+            if plan.kind == "rbd":
+                # One returned row per partial group: a pure reorder.
+                partials = np.empty((num_partials, hidden), dtype=dtype)
+                partials[plan.combine_partial[r]] = returned[r]
+            else:
+                partials = np.zeros((num_partials, hidden), dtype=dtype)
+                perm = plan.combine_perm[r]
+                np.add.at(partials, plan.combine_partial[r][perm], returned[r][perm])
+            out = np.zeros((num_tokens_per_rank[r], hidden), dtype=dtype)
+            np.add.at(out, plan.partial_token[r], partials)
+            outputs.append(out)
+        return outputs
+
+
+def make_dispatcher(
+    group: ProcessGroup,
+    num_experts: int,
+    *,
+    use_rbd: bool = False,
+    expert_to_rank: np.ndarray | None = None,
+    seed: int = 0,
+) -> PlanDispatcher:
+    """Build a plan-based dispatcher for a flat or RBD configuration."""
+    if use_rbd:
+        planner: _PlannerBase = RBDPlanner(
+            group, num_experts, expert_to_rank, seed=seed
+        )
+    else:
+        planner = FlatPlanner(group, num_experts, expert_to_rank)
+    return PlanDispatcher(group, planner)

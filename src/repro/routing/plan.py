@@ -1,0 +1,149 @@
+"""The :class:`DispatchPlan` — every piece of dispatch/combine bookkeeping
+as flat numpy arrays.
+
+A plan is built **once per step** by a planner (:mod:`repro.routing.planner`)
+from the per-rank PFTs and the expert placement, and then *consumed* by the
+execution engine (:mod:`repro.routing.engine`), which only slices buffers and
+issues collectives with splits read straight off the plan.  Nothing about
+the routing is re-derived at execution time: no per-row Python loops, no
+dict slot-maps, no linear scans.
+
+Array conventions
+-----------------
+All per-rank fields are lists indexed by *group-local* rank.  The arrival
+buffer of a destination rank is laid out as ``[pilot rows ++ replica rows]``
+where the pilot part is ordered by ``(source rank, PFT row)`` — exactly the
+concatenation order of an uneven all-to-all — and the replica part (RBD
+only) is ordered by ``(pilot-holder member index, pilot slot, source, row)``.
+``sort_order`` re-groups the arrival buffer into the canonical
+``(expert, source, row)`` order consumed by the sequential GEMM; because the
+key is a total order on assignments, the flat and RBD planners produce
+**bit-identical expert input buffers**, which is what makes the RBD output
+exactly equal to the flat oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class DispatchPlan:
+    """Vectorized routing plan shared by the flat and RBD dispatch paths.
+
+    ``kind`` is ``"flat"`` (single uneven all-to-all; every assignment is
+    its own pilot) or ``"rbd"`` (two-stage redundancy-bypassing dispatch).
+    """
+
+    kind: str
+    size: int
+    num_experts: int
+    num_nodes: int
+    expert_to_rank: np.ndarray  # [E] group-local hosting rank per expert
+    rank_to_node: np.ndarray  # [size] node id per group-local rank
+    pfts: list  # list[PFT], one per source rank
+
+    # ---- stage-1 send program (the only all-to-all for flat) -------------
+    send_rows: list[np.ndarray]  # PFT row ids in inter-rank send order
+    send_splits: list[np.ndarray]  # [size] rows to each destination
+    recv_splits: list[np.ndarray]  # [size] rows from each source
+
+    # ---- per-destination arrival tables (pilots ++ replicas) -------------
+    arrival_src: list[np.ndarray]
+    arrival_row: list[np.ndarray]
+    arrival_expert: list[np.ndarray]
+    arrival_weight: list[np.ndarray]
+    num_pilot_arrivals: list[int]  # length of the pilot part
+    sort_order: list[np.ndarray]  # canonical (expert, src, row) grouping
+    tokens_per_local_expert: list[np.ndarray]
+
+    # ---- stage-2 replica program (all empty for flat) --------------------
+    node_members: list[np.ndarray]  # per node (ascending id): member ranks
+    s2_source_slot: list[np.ndarray]  # per rank: pilot-arrival slots to copy
+    s2_send_splits: list[np.ndarray]  # per rank: [node group size]
+    s2_recv_splits: list[np.ndarray]  # per rank: [node group size]
+
+    # ---- combine merge program (per rank; empty for flat) ----------------
+    # Contributions = [own pilot outputs ++ C1-received replica outputs].
+    # ``merge_perm`` holds contribution indices in fold order — sorted by
+    # (pilot slot, expert, src, row) so the per-(token, node) partial sums
+    # fold in exactly the flat oracle's order — and ``merge_slot`` the
+    # target pilot slots aligned with that fold order.
+    merge_slot: list[np.ndarray]
+    merge_perm: list[np.ndarray]
+
+    # ---- source-side final combine ---------------------------------------
+    combine_partial: list[np.ndarray]  # returned row -> partial group id
+    combine_perm: list[np.ndarray]  # (group, expert) fold order
+    partial_token: list[np.ndarray]  # per partial group: sequence position
+
+    # ---- plan statistics -------------------------------------------------
+    total_assignments: int = 0
+    total_pilots: int = 0
+    cross_node_assignments: int = 0  # assignments whose dest node != src node
+    cross_node_pilots: int = 0  # rows actually sent inter-node
+
+    # ------------------------------------------------------------------
+    @property
+    def num_replicas(self) -> int:
+        return self.total_assignments - self.total_pilots
+
+    @property
+    def cross_node_replicas(self) -> int:
+        """Rows the flat path would send inter-node but RBD does not."""
+        return self.cross_node_assignments - self.cross_node_pilots
+
+    @property
+    def redundancy(self) -> float:
+        if self.total_assignments == 0:
+            return 0.0
+        return self.num_replicas / self.total_assignments
+
+    def num_partials(self, rank: int) -> int:
+        """Number of (token, node) partial groups at one source rank."""
+        return int(self.partial_token[rank].size)
+
+    def sent_rows(self) -> int:
+        """Total rows crossing the stage-1 all-to-all (pilots only for RBD)."""
+        return int(sum(r.size for r in self.send_rows))
+
+    def stats_dict(self, row_bytes: int) -> dict[str, float]:
+        """The legacy ``last_stats`` payload, derived from the plan."""
+        return {
+            "total_assignments": float(self.total_assignments),
+            "pilots": float(self.total_pilots),
+            "replicas": float(self.num_replicas),
+            "redundancy_rate": self.redundancy,
+            "stage1_bytes": float(self.total_pilots * row_bytes),
+            "stage2_bytes": float(self.num_replicas * row_bytes),
+        }
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by the test suite)."""
+        for r in range(self.size):
+            if int(self.send_splits[r].sum()) != int(self.send_rows[r].size):
+                raise AssertionError(f"rank {r}: send_splits do not sum to send_rows")
+        for d in range(self.size):
+            expected = np.array(
+                [self.send_splits[r][d] for r in range(self.size)], dtype=np.int64
+            )
+            if not np.array_equal(expected, self.recv_splits[d]):
+                raise AssertionError(f"rank {d}: recv_splits not the send transpose")
+            n = self.arrival_src[d].size
+            if not (
+                self.arrival_row[d].size
+                == self.arrival_expert[d].size
+                == self.arrival_weight[d].size
+                == self.sort_order[d].size
+                == n
+            ):
+                raise AssertionError(f"rank {d}: arrival tables disagree on length")
+            if n and not np.array_equal(np.sort(self.sort_order[d]), np.arange(n)):
+                raise AssertionError(f"rank {d}: sort_order is not a permutation")
+            if int(self.tokens_per_local_expert[d].sum()) != n:
+                raise AssertionError(f"rank {d}: tokens_per_local_expert != arrivals")
+        arrivals = sum(self.arrival_src[d].size for d in range(self.size))
+        if arrivals != self.total_assignments:
+            raise AssertionError("arrival rows do not cover all assignments")

@@ -40,7 +40,12 @@ from repro.xmoe.memory_model import (
     MoEMemoryModel,
 )
 from repro.xmoe.perf_model import MoEPerformanceModel, LayerTimeBreakdown, SystemKind
-from repro.xmoe.trainer import SimulatedTrainer, TrainRunResult, sweep_best_config
+from repro.xmoe.trainer import (
+    SimulatedTrainer,
+    TrainRunResult,
+    dispatcher_for_config,
+    sweep_best_config,
+)
 
 __all__ = [
     "PFT",
@@ -69,5 +74,6 @@ __all__ = [
     "SystemKind",
     "SimulatedTrainer",
     "TrainRunResult",
+    "dispatcher_for_config",
     "sweep_best_config",
 ]

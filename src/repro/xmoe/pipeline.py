@@ -9,14 +9,15 @@ Two implementations live here:
   loss-validation model (Fig. 15) against the padded baseline.
 * :class:`DistributedMoEDispatcher` — the multi-rank (numpy) version that
   performs the real uneven all-to-all exchanges over a
-  :class:`~repro.comm.process_group.ProcessGroup`, used to validate the
-  dispatch/combine plumbing across ranks and as the substrate RBD plugs
-  into.
+  :class:`~repro.comm.process_group.ProcessGroup`.  It is a thin wrapper
+  over the vectorized routing-plan engine (:mod:`repro.routing`) with a
+  :class:`~repro.routing.planner.FlatPlanner`, and doubles as the
+  correctness oracle RBD is compared against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -24,9 +25,11 @@ from repro.baselines.deepspeed_moe import compute_capacity
 from repro.comm.process_group import ProcessGroup
 from repro.moe.experts import ExpertBank
 from repro.moe.gating import TopKGate
+from repro.routing.engine import PlanDispatcher
+from repro.routing.plan import DispatchPlan
+from repro.routing.planner import FlatPlanner
 from repro.tensor import ops
 from repro.tensor.autograd import Tensor
-from repro.xmoe.kernels import gather_kernel, scatter_kernel, sequential_gemm
 from repro.xmoe.pft import PFT, build_pft
 
 
@@ -111,21 +114,25 @@ class PaddingFreeMoELayer:
 # ----------------------------------------------------------------------
 # Distributed (multi-rank) dispatch over a ProcessGroup
 # ----------------------------------------------------------------------
-@dataclass
-class _DispatchState:
-    """Everything the combine stage needs to reverse a dispatch."""
-
-    pfts: list[PFT]
-    send_orders: list[np.ndarray]
-    send_splits: list[np.ndarray]
-    recv_splits: list[np.ndarray]
-    recv_expert_ids: list[np.ndarray]
-    recv_sort_orders: list[np.ndarray]
-    tokens_per_local_expert: list[np.ndarray]
-
-
 class DistributedMoEDispatcher:
     """Uneven all-to-all dispatch/combine of PFT buffers across EP ranks.
+
+    Compatibility wrapper over the vectorized routing-plan engine: a
+    :class:`repro.routing.FlatPlanner` compiles every PFT into a
+    :class:`repro.routing.DispatchPlan` and a
+    :class:`repro.routing.PlanDispatcher` executes it.  The flat plan also
+    serves as the correctness oracle for RBD — both planners produce
+    canonically ordered expert inputs and identical combine fold orders, so
+    :class:`~repro.xmoe.rbd.RBDDispatcher` outputs match this dispatcher
+    bit for bit.
+
+    Accounting note: the pre-refactor implementation exchanged per-row
+    expert ids in a second ``dispatch_meta_a2a`` collective (8 bytes per
+    routed assignment); the plan engine derives all arrival metadata from
+    the plan instead, so only the token payload is charged.  This matches
+    how the RBD path always treated routing metadata (carried out of band,
+    negligible per the paper) and makes the two paths' recorded traffic
+    directly comparable.
 
     Parameters
     ----------
@@ -144,165 +151,60 @@ class DistributedMoEDispatcher:
         num_experts: int,
         expert_to_rank: np.ndarray | None = None,
     ):
+        self.planner = FlatPlanner(group, num_experts, expert_to_rank)
+        self.engine = PlanDispatcher(group, self.planner)
         self.group = group
         self.num_experts = num_experts
-        if expert_to_rank is None:
-            if num_experts % group.size:
-                raise ValueError(
-                    f"num_experts={num_experts} not divisible by EP size {group.size}"
-                )
-            per_rank = num_experts // group.size
-            expert_to_rank = np.repeat(np.arange(group.size), per_rank)
-        expert_to_rank = np.asarray(expert_to_rank, dtype=np.int64)
-        if expert_to_rank.size != num_experts:
-            raise ValueError("expert_to_rank must have one entry per expert")
-        if expert_to_rank.min() < 0 or expert_to_rank.max() >= group.size:
-            raise ValueError("expert_to_rank entries out of range for the group")
-        self.expert_to_rank = expert_to_rank
-        # Local (per-hosting-rank) index of each expert.
-        self.local_expert_index = np.zeros(num_experts, dtype=np.int64)
-        for r in range(group.size):
-            experts_on_r = np.flatnonzero(expert_to_rank == r)
-            self.local_expert_index[experts_on_r] = np.arange(experts_on_r.size)
+        self.expert_to_rank = self.planner.expert_to_rank
 
     def experts_on_rank(self, local_rank: int) -> np.ndarray:
         """Global ids of the experts hosted by a group-local rank."""
-        return np.flatnonzero(self.expert_to_rank == local_rank)
+        return self.planner.experts_on_rank(local_rank)
+
+    # ------------------------------------------------------------------
+    def plan(self, per_rank_pfts: list[PFT], *, step: int | None = None) -> DispatchPlan:
+        """Build the flat routing plan — exactly what :meth:`dispatch` uses."""
+        return self.engine.plan(per_rank_pfts, step=step)
 
     # ------------------------------------------------------------------
     def dispatch(
         self,
         per_rank_tokens: list[np.ndarray],
         per_rank_pfts: list[PFT],
-    ) -> tuple[list[np.ndarray], _DispatchState]:
+        *,
+        plan: DispatchPlan | None = None,
+        step: int | None = None,
+    ) -> tuple[list[np.ndarray], DispatchPlan]:
         """Route every rank's PFT tokens to the ranks hosting their experts.
 
-        Returns ``(expert_inputs, state)`` where ``expert_inputs[r]`` is the
+        Returns ``(expert_inputs, plan)`` where ``expert_inputs[r]`` is the
         ``[B_r, H]`` buffer of tokens rank ``r``'s experts must process,
-        grouped by (local) expert id, and ``state`` carries the metadata the
-        combine stage needs.
+        grouped by (local) expert id, and ``plan`` carries all the metadata
+        the combine stage needs.
         """
-        size = self.group.size
-        if len(per_rank_tokens) != size or len(per_rank_pfts) != size:
-            raise ValueError("need one token buffer and one PFT per group rank")
-
-        send_buffers: list[np.ndarray] = []
-        send_expert_ids: list[np.ndarray] = []
-        send_orders: list[np.ndarray] = []
-        send_splits: list[np.ndarray] = []
-        for r in range(size):
-            pft = per_rank_pfts[r]
-            tokens = per_rank_tokens[r]
-            gathered = gather_kernel(tokens, pft.token_ids)
-            dest_rank = self.expert_to_rank[pft.expert_ids]
-            # Order rows by destination rank, then expert id, then source
-            # position so the alltoallv splits are contiguous.
-            order = np.lexsort((pft.token_ids, pft.expert_ids, dest_rank))
-            send_orders.append(order)
-            send_buffers.append(gathered[order])
-            send_expert_ids.append(pft.expert_ids[order])
-            splits = np.bincount(dest_rank, minlength=size).astype(np.int64)
-            send_splits.append(splits)
-
-        recv_buffers, recv_splits = self.group.alltoallv(
-            send_buffers, send_splits, op_name="dispatch_a2a"
-        )
-        recv_expert_buffers, _ = self.group.alltoallv(
-            [ids.reshape(-1, 1) for ids in send_expert_ids],
-            send_splits,
-            op_name="dispatch_meta_a2a",
-        )
-
-        expert_inputs: list[np.ndarray] = []
-        recv_expert_ids: list[np.ndarray] = []
-        recv_sort_orders: list[np.ndarray] = []
-        tokens_per_local_expert: list[np.ndarray] = []
-        for r in range(size):
-            expert_ids_r = recv_expert_buffers[r].reshape(-1).astype(np.int64)
-            # Group the inbound tokens by expert so the sequential GEMM can
-            # process one contiguous segment per local expert.
-            sort_order = np.argsort(expert_ids_r, kind="stable")
-            expert_inputs.append(recv_buffers[r][sort_order])
-            recv_expert_ids.append(expert_ids_r)
-            recv_sort_orders.append(sort_order)
-            local_experts = self.experts_on_rank(r)
-            counts = np.bincount(expert_ids_r, minlength=self.num_experts)
-            tokens_per_local_expert.append(counts[local_experts].astype(np.int64))
-
-        state = _DispatchState(
-            pfts=list(per_rank_pfts),
-            send_orders=send_orders,
-            send_splits=send_splits,
-            recv_splits=recv_splits,
-            recv_expert_ids=recv_expert_ids,
-            recv_sort_orders=recv_sort_orders,
-            tokens_per_local_expert=tokens_per_local_expert,
-        )
-        return expert_inputs, state
+        return self.engine.dispatch(per_rank_tokens, per_rank_pfts, plan=plan, step=step)
 
     # ------------------------------------------------------------------
     def combine(
         self,
         per_rank_expert_outputs: list[np.ndarray],
-        state: _DispatchState,
+        plan: DispatchPlan,
         num_tokens_per_rank: list[int],
     ) -> list[np.ndarray]:
         """Return expert outputs to their source ranks and sequence slots."""
-        size = self.group.size
-        if len(per_rank_expert_outputs) != size:
-            raise ValueError("need one expert-output buffer per group rank")
-
-        # Undo the by-expert sort so rows line up with the dispatch receive
-        # order, then alltoallv back using the transposed splits.
-        send_back: list[np.ndarray] = []
-        for r in range(size):
-            out = per_rank_expert_outputs[r]
-            unsort = np.empty_like(state.recv_sort_orders[r])
-            unsort[state.recv_sort_orders[r]] = np.arange(unsort.size)
-            send_back.append(out[unsort])
-
-        returned, _ = self.group.alltoallv(
-            send_back, state.recv_splits, op_name="combine_a2a"
-        )
-
-        outputs: list[np.ndarray] = []
-        for r in range(size):
-            pft = state.pfts[r]
-            order = state.send_orders[r]
-            # Rows come back in the order we sent them; map to PFT order.
-            restored = np.empty_like(returned[r])
-            restored[np.arange(order.size)] = returned[r]
-            pft_order_outputs = np.empty_like(returned[r])
-            pft_order_outputs[order] = restored
-            combined = scatter_kernel(
-                pft_order_outputs,
-                pft.token_ids,
-                pft.combine_weights,
-                num_tokens_per_rank[r],
-            )
-            outputs.append(combined)
-        return outputs
+        return self.engine.combine(per_rank_expert_outputs, plan, num_tokens_per_rank)
 
     # ------------------------------------------------------------------
     def run_experts(
         self,
         expert_inputs: list[np.ndarray],
-        state: _DispatchState,
+        plan: DispatchPlan,
         per_rank_w1: list[np.ndarray],
         per_rank_w2: list[np.ndarray],
         *,
         activation: str = "silu",
     ) -> list[np.ndarray]:
         """Run each rank's local experts over its grouped input buffer."""
-        outputs = []
-        for r in range(self.group.size):
-            outputs.append(
-                sequential_gemm(
-                    expert_inputs[r],
-                    per_rank_w1[r],
-                    per_rank_w2[r],
-                    state.tokens_per_local_expert[r],
-                    activation=activation,
-                )
-            )
-        return outputs
+        return self.engine.run_experts(
+            expert_inputs, plan, per_rank_w1, per_rank_w2, activation=activation
+        )

@@ -9,8 +9,7 @@ duplicated data.  RBD splits dispatch into stages:
   destination node; in every (token, node) group pick one *pilot* at random
   and mark the rest *local replicas*.
 * **Stage 1** — only pilot tokens travel across nodes (uneven all-to-all to
-  the rank hosting the pilot's expert), together with lightweight replica
-  metadata.
+  the rank hosting the pilot's expert).
 * **Stage 2** — on the destination node, replica rows are reconstructed by
   copying their pilot's data and exchanged over the fast intra-node links to
   the ranks hosting the replicas' experts.
@@ -18,26 +17,41 @@ duplicated data.  RBD splits dispatch into stages:
 The combine stage reverses the process: replica outputs are scaled by their
 combine weights and merged onto their pilot's row intra-node, then a single
 row per (token, node) group returns inter-node, and the source adds it into
-the output sequence.  Because combine is a weighted sum over assignments,
-this produces bit-identical results to the flat dispatch while moving only
-the non-redundant rows across nodes.
+the output sequence.  Because the plan engine folds the partial sums in the
+same order on both paths, this produces **bit-identical** results to the
+flat dispatch while moving only the non-redundant rows across nodes.
 
-The implementation routes every data-carrying exchange through the
+Since the vectorized routing-plan refactor, :class:`RBDDispatcher` is a thin
+compatibility wrapper over :class:`repro.routing.PlanDispatcher` driven by a
+:class:`repro.routing.RBDPlanner`: all bookkeeping (send orders, splits,
+arrival tables, ``searchsorted``-based pilot-slot indices, merge orders) is
+compiled once per step into a :class:`repro.routing.DispatchPlan` of flat
+numpy arrays, and every data-carrying exchange still goes through the
 :class:`~repro.comm.process_group.ProcessGroup` collectives so the recorded
-communication statistics reflect the inter- vs intra-node byte split; the
-(small) routing metadata is carried in Python state, which the paper
-likewise treats as negligible.
+communication statistics reflect the inter- vs intra-node byte split.
+
+Determinism: pilot selection derives a fresh generator from ``(seed, step)``
+on every dispatch, so dispatching the same PFTs twice with the same ``step``
+(or the default ``step=None``) picks the same pilots.  Pass an incrementing
+``step`` to decorrelate pilot choices across training steps while keeping
+each step reproducible.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
-from repro.xmoe.kernels import gather_kernel, scatter_kernel, sequential_gemm
-from repro.xmoe.pft import PFT
+from repro.routing.engine import PlanDispatcher
+from repro.routing.plan import DispatchPlan
+from repro.routing.planner import RBDPlan, RBDPlanner
+
+__all__ = [
+    "RBDDispatcher",
+    "RBDPlan",
+    "expected_redundancy_rate",
+    "redundancy_rate",
+]
 
 
 # ----------------------------------------------------------------------
@@ -63,7 +77,10 @@ def redundancy_rate(
     if s == 0 or k == 0:
         return 0.0
     dest_nodes = rank_to_node[expert_to_rank[top_experts]]  # [S, k]
-    distinct = np.array([np.unique(row).size for row in dest_nodes])
+    # Distinct-count per row via a sort along the k axis: a node is counted
+    # once per run of equal values, so distinct = 1 + (#value changes).
+    sorted_nodes = np.sort(dest_nodes, axis=1)
+    distinct = 1 + (np.diff(sorted_nodes, axis=1) != 0).sum(axis=1)
     total = s * k
     pilots = int(distinct.sum())
     return 1.0 - pilots / total
@@ -97,57 +114,15 @@ def expected_redundancy_rate(num_experts: int, top_k: int, num_nodes: int) -> fl
     return 1.0 - expected_nodes / top_k
 
 
-@dataclass
-class RBDPlan:
-    """Per-source-rank stage-0 plan: which PFT rows are pilots."""
-
-    pilot_mask: np.ndarray  # [B] bool
-    pilot_of: np.ndarray  # [B] index (into PFT rows) of each row's pilot
-    dest_rank: np.ndarray  # [B] destination group-local rank
-    dest_node: np.ndarray  # [B] destination node id
-
-    @property
-    def num_pilots(self) -> int:
-        return int(self.pilot_mask.sum())
-
-    @property
-    def num_replicas(self) -> int:
-        return int((~self.pilot_mask).sum())
-
-    @property
-    def redundancy(self) -> float:
-        total = self.pilot_mask.size
-        return 0.0 if total == 0 else self.num_replicas / total
-
-
-@dataclass
-class _RBDState:
-    """Everything needed to run experts and reverse the dispatch."""
-
-    pfts: list[PFT]
-    plans: list[RBDPlan]
-    # Stage-1 bookkeeping (source side)
-    s1_send_rows: list[np.ndarray]  # PFT row ids sent by each source, in send order
-    s1_send_splits: list[np.ndarray]
-    s1_recv_splits: list[np.ndarray]
-    # Arrival metadata per destination rank, aligned with that rank's
-    # (pilot ++ replica) arrival buffer before the by-expert sort.
-    arrival_src: list[np.ndarray]
-    arrival_row: list[np.ndarray]
-    arrival_is_replica: list[np.ndarray]
-    arrival_expert: list[np.ndarray]
-    arrival_weight: list[np.ndarray]
-    arrival_pilot_slot: list[np.ndarray]  # index into the rank's pilot arrivals
-    sort_orders: list[np.ndarray]
-    tokens_per_local_expert: list[np.ndarray]
-    # Stage-2 bookkeeping (per destination node subgroups)
-    node_groups: list[ProcessGroup]
-    s2_send_splits: list[list[np.ndarray]]
-    s2_recv_splits: list[list[np.ndarray]]
-
-
 class RBDDispatcher:
-    """Redundancy-bypassing dispatch over an expert-parallel process group."""
+    """Redundancy-bypassing dispatch over an expert-parallel process group.
+
+    Compatibility wrapper: the routing decisions live in
+    :class:`repro.routing.RBDPlanner` and the data movement in
+    :class:`repro.routing.PlanDispatcher`; this class preserves the
+    historical ``dispatch / run_experts / combine`` call surface and the
+    ``last_stats`` payload.
+    """
 
     def __init__(
         self,
@@ -157,413 +132,85 @@ class RBDDispatcher:
         *,
         seed: int = 0,
     ):
+        self.planner = RBDPlanner(group, num_experts, expert_to_rank, seed=seed)
+        self.engine = PlanDispatcher(group, self.planner)
         self.group = group
         self.num_experts = num_experts
-        if expert_to_rank is None:
-            if num_experts % group.size:
-                raise ValueError(
-                    f"num_experts={num_experts} not divisible by EP size {group.size}"
-                )
-            per_rank = num_experts // group.size
-            expert_to_rank = np.repeat(np.arange(group.size), per_rank)
-        self.expert_to_rank = np.asarray(expert_to_rank, dtype=np.int64)
-        if self.expert_to_rank.size != num_experts:
-            raise ValueError("expert_to_rank must have one entry per expert")
-        topo = group.world.topology
-        self.rank_to_node = np.array(
-            [topo.node_of(g) for g in group.ranks], dtype=np.int64
-        )
-        self._rng = np.random.default_rng(seed)
+        self.expert_to_rank = self.planner.expert_to_rank
+        self.rank_to_node = self.planner.rank_to_node
+        self.seed = seed
         self.last_stats: dict[str, float] | None = None
+        self.last_plan: DispatchPlan | None = None
 
     def experts_on_rank(self, local_rank: int) -> np.ndarray:
         """Global ids of the experts hosted by a group-local rank."""
-        return np.flatnonzero(self.expert_to_rank == local_rank)
+        return self.planner.experts_on_rank(local_rank)
 
     # ------------------------------------------------------------------
-    # Stage 0: pilot selection
+    # Planning
     # ------------------------------------------------------------------
-    def plan(self, pft: PFT) -> RBDPlan:
-        """Select pilots and replicas for one source rank's PFT."""
-        dest_rank = self.expert_to_rank[pft.expert_ids]
-        dest_node = self.rank_to_node[dest_rank]
-        b = pft.num_routed_tokens
-        if b == 0:
-            return RBDPlan(
-                pilot_mask=np.zeros(0, dtype=bool),
-                pilot_of=np.zeros(0, dtype=np.int64),
-                dest_rank=dest_rank,
-                dest_node=dest_node,
-            )
-        num_nodes = int(self.rank_to_node.max()) + 1
-        keys = pft.token_ids * num_nodes + dest_node
-        # Random pilot per (token, node) group: permute rows, then take the
-        # first occurrence of each key in permuted order.
-        perm = self._rng.permutation(b)
-        uniq_keys, first_in_perm = np.unique(keys[perm], return_index=True)
-        pilot_rows = perm[first_in_perm]
-        pilot_mask = np.zeros(b, dtype=bool)
-        pilot_mask[pilot_rows] = True
-        pos = np.searchsorted(uniq_keys, keys)
-        pilot_of = pilot_rows[pos]
-        return RBDPlan(
-            pilot_mask=pilot_mask,
-            pilot_of=pilot_of,
-            dest_rank=dest_rank,
-            dest_node=dest_node,
-        )
+    def plan(self, per_rank_pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Build the full routing plan — exactly what :meth:`dispatch` uses.
+
+        Deterministic: the generator is re-derived from ``(seed, step)`` on
+        every call, so the same PFTs always yield the same plan.
+        """
+        return self.engine.plan(per_rank_pfts, step=step)
+
+    def stage0_plan(self, pft, *, step: int | None = None) -> RBDPlan:
+        """Standalone stage-0 pilot selection for one source rank's PFT.
+
+        Deterministic per call (the generator is re-derived from
+        ``(seed, step)``), and drawn from the same distribution as
+        :meth:`dispatch` — one uniformly random pilot per (token, node)
+        group — but as an independent sample: the full planner permutes
+        the global assignment table across all ranks, so the specific
+        pilot rows it picks are not reproducible from a single PFT.  Use
+        :meth:`plan` (or the plan returned by :meth:`dispatch`) when the
+        actual dispatched pilot set matters.
+        """
+        return self.planner.stage0(pft, self.planner._rng(step))
 
     # ------------------------------------------------------------------
-    # Dispatch
+    # Dispatch / experts / combine (the Dispatcher protocol)
     # ------------------------------------------------------------------
     def dispatch(
         self,
         per_rank_tokens: list[np.ndarray],
-        per_rank_pfts: list[PFT],
-    ) -> tuple[list[np.ndarray], _RBDState]:
+        per_rank_pfts: list,
+        *,
+        plan: DispatchPlan | None = None,
+        step: int | None = None,
+    ) -> tuple[list[np.ndarray], DispatchPlan]:
         """Route tokens to expert-hosting ranks with redundancy bypassing."""
-        size = self.group.size
-        if len(per_rank_tokens) != size or len(per_rank_pfts) != size:
-            raise ValueError("need one token buffer and one PFT per group rank")
+        expert_inputs, plan = self.engine.dispatch(
+            per_rank_tokens, per_rank_pfts, plan=plan, step=step
+        )
         hidden = per_rank_tokens[0].shape[1]
-        dtype = per_rank_tokens[0].dtype
+        row_bytes = hidden * per_rank_tokens[0].dtype.itemsize
+        self.last_stats = plan.stats_dict(row_bytes)
+        self.last_plan = plan
+        return expert_inputs, plan
 
-        plans = [self.plan(pft) for pft in per_rank_pfts]
-
-        # ---- Stage 1: pilots travel to their expert's rank --------------
-        s1_send: list[np.ndarray] = []
-        s1_send_rows: list[np.ndarray] = []
-        s1_send_splits: list[np.ndarray] = []
-        for r in range(size):
-            pft, plan = per_rank_pfts[r], plans[r]
-            gathered = gather_kernel(per_rank_tokens[r], pft.token_ids)
-            pilot_rows = np.flatnonzero(plan.pilot_mask)
-            pilot_dest = plan.dest_rank[pilot_rows]
-            order = np.lexsort((pilot_rows, pilot_dest))
-            rows_sorted = pilot_rows[order]
-            s1_send.append(gathered[rows_sorted])
-            s1_send_rows.append(rows_sorted)
-            s1_send_splits.append(np.bincount(pilot_dest, minlength=size).astype(np.int64))
-
-        s1_recv, s1_recv_splits = self.group.alltoallv(
-            s1_send, s1_send_splits, op_name="rbd_s1_a2a"
-        )
-
-        # Per-destination metadata for arrived pilots, in arrival order.
-        pilot_src: list[list[int]] = [[] for _ in range(size)]
-        pilot_row: list[list[int]] = [[] for _ in range(size)]
-        for r in range(size):
-            offsets = np.concatenate([[0], np.cumsum(s1_send_splits[r])])
-            for d in range(size):
-                rows = s1_send_rows[r][offsets[d] : offsets[d + 1]]
-                pilot_src[d].extend([r] * rows.size)
-                pilot_row[d].extend(rows.tolist())
-        pilot_src_arr = [np.array(v, dtype=np.int64) for v in pilot_src]
-        pilot_row_arr = [np.array(v, dtype=np.int64) for v in pilot_row]
-
-        # Index of each source pilot row in its destination's arrival buffer.
-        pilot_arrival_slot: list[dict[tuple[int, int], int]] = []
-        for d in range(size):
-            slot_map = {
-                (int(pilot_src_arr[d][i]), int(pilot_row_arr[d][i])): i
-                for i in range(pilot_src_arr[d].size)
-            }
-            pilot_arrival_slot.append(slot_map)
-
-        # ---- Stage 2: reconstruct replicas and exchange intra-node -------
-        # For every replica row at source r, its pilot landed on rank
-        # pr = dest_rank[pilot_of[row]]; the replica must reach rank
-        # dr = dest_rank[row].  pr and dr share a node by construction.
-        node_groups = self.group.node_local_subgroups()
-        node_of_local = self.rank_to_node
-        group_of_node: dict[int, ProcessGroup] = {}
-        for ng in node_groups:
-            node_id = self.group.world.topology.node_of(ng.ranks[0])
-            group_of_node[node_id] = ng
-
-        # Collect replica requests keyed by the rank holding the pilot data.
-        # request: (pilot_slot_on_pr, dest_rank dr, src r, replica pft row)
-        replica_requests: list[list[tuple[int, int, int, int]]] = [
-            [] for _ in range(size)
-        ]
-        for r in range(size):
-            plan = plans[r]
-            replica_rows = np.flatnonzero(~plan.pilot_mask)
-            for row in replica_rows:
-                pilot = int(plan.pilot_of[row])
-                pr = int(plan.dest_rank[pilot])
-                dr = int(plan.dest_rank[row])
-                slot = pilot_arrival_slot[pr][(r, pilot)]
-                replica_requests[pr].append((slot, dr, r, int(row)))
-
-        # Build per-node intra-node alltoallv sends from pilot-holding ranks.
-        replica_arrival_src: list[list[int]] = [[] for _ in range(size)]
-        replica_arrival_row: list[list[int]] = [[] for _ in range(size)]
-        replica_arrival_data: list[list[np.ndarray]] = [[] for _ in range(size)]
-        s2_send_splits: list[list[np.ndarray]] = []
-        s2_recv_splits: list[list[np.ndarray]] = []
-        for ng in node_groups:
-            members = [self.group.local_rank_of(g) for g in ng.ranks]
-            send_bufs: list[np.ndarray] = []
-            splits: list[np.ndarray] = []
-            send_meta: list[list[tuple[int, int]]] = []
-            for member in members:
-                reqs = replica_requests[member]
-                # Order by destination rank (within the node subgroup).
-                reqs_sorted = sorted(reqs, key=lambda t: (members.index(t[1]), t[0]))
-                if reqs_sorted:
-                    slots = np.array([t[0] for t in reqs_sorted], dtype=np.int64)
-                    data = s1_recv[member][slots]
-                else:
-                    data = np.zeros((0, hidden), dtype=dtype)
-                send_bufs.append(data)
-                dest_local = np.array(
-                    [members.index(t[1]) for t in reqs_sorted], dtype=np.int64
-                )
-                splits.append(
-                    np.bincount(dest_local, minlength=len(members)).astype(np.int64)
-                )
-                send_meta.append([(t[2], t[3]) for t in reqs_sorted])
-            recv_bufs, recv_splits = ng.alltoallv(
-                send_bufs, splits, op_name="rbd_s2_a2a"
-            )
-            s2_send_splits.append(splits)
-            s2_recv_splits.append(recv_splits)
-            # Reconstruct arrival metadata on each destination member.
-            for j, member in enumerate(members):
-                # Receiver j's buffer concatenates, for each sender i, the
-                # rows sender i addressed to j (in sender order).
-                for i, sender in enumerate(members):
-                    meta = send_meta[i]
-                    sender_splits = splits[i]
-                    offsets = np.concatenate([[0], np.cumsum(sender_splits)])
-                    chunk_meta = meta[offsets[j] : offsets[j + 1]]
-                    for (src, row) in chunk_meta:
-                        replica_arrival_src[member].append(src)
-                        replica_arrival_row[member].append(row)
-                replica_arrival_data[member].append(recv_bufs[j])
-
-        # ---- Merge pilot and replica arrivals per destination rank ------
-        expert_inputs: list[np.ndarray] = []
-        arrival_src: list[np.ndarray] = []
-        arrival_row: list[np.ndarray] = []
-        arrival_is_replica: list[np.ndarray] = []
-        arrival_expert: list[np.ndarray] = []
-        arrival_weight: list[np.ndarray] = []
-        arrival_pilot_slot: list[np.ndarray] = []
-        sort_orders: list[np.ndarray] = []
-        tokens_per_local_expert: list[np.ndarray] = []
-        for d in range(size):
-            replica_data = (
-                np.concatenate(replica_arrival_data[d], axis=0)
-                if replica_arrival_data[d]
-                else np.zeros((0, hidden), dtype=dtype)
-            )
-            data = np.concatenate([s1_recv[d], replica_data], axis=0)
-            src = np.concatenate(
-                [pilot_src_arr[d], np.array(replica_arrival_src[d], dtype=np.int64)]
-            )
-            row = np.concatenate(
-                [pilot_row_arr[d], np.array(replica_arrival_row[d], dtype=np.int64)]
-            )
-            is_replica = np.concatenate(
-                [
-                    np.zeros(pilot_src_arr[d].size, dtype=bool),
-                    np.ones(len(replica_arrival_src[d]), dtype=bool),
-                ]
-            )
-            experts = np.array(
-                [per_rank_pfts[int(s)].expert_ids[int(i)] for s, i in zip(src, row)],
-                dtype=np.int64,
-            )
-            weights = np.array(
-                [per_rank_pfts[int(s)].combine_weights[int(i)] for s, i in zip(src, row)],
-                dtype=np.float64,
-            )
-            # For combine stage C1, each replica needs its pilot's arrival
-            # slot on *this node's pilot-holding rank*; record the pilot slot
-            # only for replicas (pilots reference themselves).
-            pslot = np.full(src.size, -1, dtype=np.int64)
-            for idx in range(src.size):
-                if not is_replica[idx]:
-                    pslot[idx] = idx  # pilot's own arrival index (pilot part)
-            arrival_src.append(src)
-            arrival_row.append(row)
-            arrival_is_replica.append(is_replica)
-            arrival_expert.append(experts)
-            arrival_weight.append(weights)
-            arrival_pilot_slot.append(pslot)
-
-            order = np.argsort(experts, kind="stable")
-            sort_orders.append(order)
-            expert_inputs.append(data[order])
-            local_experts = self.experts_on_rank(d)
-            counts = np.bincount(experts, minlength=self.num_experts)
-            tokens_per_local_expert.append(counts[local_experts].astype(np.int64))
-
-        total_assignments = sum(p.pilot_mask.size for p in plans)
-        total_pilots = sum(p.num_pilots for p in plans)
-        self.last_stats = {
-            "total_assignments": float(total_assignments),
-            "pilots": float(total_pilots),
-            "replicas": float(total_assignments - total_pilots),
-            "redundancy_rate": (
-                1.0 - total_pilots / total_assignments if total_assignments else 0.0
-            ),
-            "stage1_bytes": float(sum(b.nbytes for b in s1_send)),
-            "stage2_bytes": float(
-                (total_assignments - total_pilots) * hidden * np.dtype(dtype).itemsize
-            ),
-        }
-
-        state = _RBDState(
-            pfts=list(per_rank_pfts),
-            plans=plans,
-            s1_send_rows=s1_send_rows,
-            s1_send_splits=s1_send_splits,
-            s1_recv_splits=s1_recv_splits,
-            arrival_src=arrival_src,
-            arrival_row=arrival_row,
-            arrival_is_replica=arrival_is_replica,
-            arrival_expert=arrival_expert,
-            arrival_weight=arrival_weight,
-            arrival_pilot_slot=arrival_pilot_slot,
-            sort_orders=sort_orders,
-            tokens_per_local_expert=tokens_per_local_expert,
-            node_groups=node_groups,
-            s2_send_splits=s2_send_splits,
-            s2_recv_splits=s2_recv_splits,
-        )
-        return expert_inputs, state
-
-    # ------------------------------------------------------------------
     def run_experts(
         self,
         expert_inputs: list[np.ndarray],
-        state: _RBDState,
+        plan: DispatchPlan,
         per_rank_w1: list[np.ndarray],
         per_rank_w2: list[np.ndarray],
         *,
         activation: str = "silu",
     ) -> list[np.ndarray]:
         """Run each rank's local experts over its grouped input buffer."""
-        outputs = []
-        for r in range(self.group.size):
-            outputs.append(
-                sequential_gemm(
-                    expert_inputs[r],
-                    per_rank_w1[r],
-                    per_rank_w2[r],
-                    state.tokens_per_local_expert[r],
-                    activation=activation,
-                )
-            )
-        return outputs
+        return self.engine.run_experts(
+            expert_inputs, plan, per_rank_w1, per_rank_w2, activation=activation
+        )
 
-    # ------------------------------------------------------------------
-    # Combine (reverse RBD)
-    # ------------------------------------------------------------------
     def combine(
         self,
         per_rank_expert_outputs: list[np.ndarray],
-        state: _RBDState,
+        plan: DispatchPlan,
         num_tokens_per_rank: list[int],
     ) -> list[np.ndarray]:
         """Weighted combine with the reverse of the two-stage dispatch."""
-        size = self.group.size
-        hidden = per_rank_expert_outputs[0].shape[1] if per_rank_expert_outputs else 0
-        dtype = per_rank_expert_outputs[0].dtype
-
-        # Undo the by-expert sort so rows align with arrival order, and apply
-        # the combine weights now (paper: scaling happens before merging).
-        arrival_outputs: list[np.ndarray] = []
-        for d in range(size):
-            order = state.sort_orders[d]
-            unsorted = np.empty_like(per_rank_expert_outputs[d])
-            unsorted[order] = per_rank_expert_outputs[d]
-            arrival_outputs.append(unsorted * state.arrival_weight[d][:, None])
-
-        # ---- Stage C1: replicas merge onto their pilot (intra-node) ------
-        # Each destination rank sends its replica output rows back to the
-        # rank that holds the corresponding pilot arrival; the pilot-holding
-        # rank adds them onto the pilot's (already weighted) output row.
-        merged_pilot_outputs = [
-            arrival_outputs[d][~state.arrival_is_replica[d]].copy() for d in range(size)
-        ]
-        for ng in state.node_groups:
-            members = [self.group.local_rank_of(g) for g in ng.ranks]
-            send_bufs: list[np.ndarray] = []
-            splits: list[np.ndarray] = []
-            send_slots: list[list[int]] = []
-            for member in members:
-                is_rep = state.arrival_is_replica[member]
-                rep_idx = np.flatnonzero(is_rep)
-                # The pilot of replica (src, row) lives on rank
-                # plan.dest_rank[pilot_of[row]]; find its arrival slot there.
-                dests: list[int] = []
-                slots: list[int] = []
-                for idx in rep_idx:
-                    src = int(state.arrival_src[member][idx])
-                    row = int(state.arrival_row[member][idx])
-                    plan = state.plans[src]
-                    pilot = int(plan.pilot_of[row])
-                    pr = int(plan.dest_rank[pilot])
-                    # Pilot arrival slot on pr within the pilot-only part.
-                    slot = self._pilot_slot(state, pr, src, pilot)
-                    dests.append(members.index(pr))
-                    slots.append(slot)
-                dests_arr = np.array(dests, dtype=np.int64)
-                order = np.argsort(dests_arr, kind="stable")
-                rep_sorted = rep_idx[order]
-                send_bufs.append(
-                    arrival_outputs[member][rep_sorted]
-                    if rep_sorted.size
-                    else np.zeros((0, hidden), dtype=dtype)
-                )
-                splits.append(
-                    np.bincount(dests_arr[order], minlength=len(members)).astype(np.int64)
-                )
-                send_slots.append([slots[i] for i in order])
-            recv_bufs, _ = ng.alltoallv(send_bufs, splits, op_name="rbd_c1_a2a")
-            for j, member in enumerate(members):
-                # Rebuild which pilot slots the received rows target.
-                target_slots: list[int] = []
-                for i, sender in enumerate(members):
-                    offsets = np.concatenate([[0], np.cumsum(splits[i])])
-                    target_slots.extend(send_slots[i][offsets[j] : offsets[j + 1]])
-                if target_slots:
-                    np.add.at(
-                        merged_pilot_outputs[member],
-                        np.array(target_slots, dtype=np.int64),
-                        recv_bufs[j],
-                    )
-
-        # ---- Stage C2: merged pilot rows return to their source ----------
-        returned, _ = self.group.alltoallv(
-            merged_pilot_outputs, state.s1_recv_splits, op_name="rbd_c2_a2a"
-        )
-
-        outputs: list[np.ndarray] = []
-        for r in range(size):
-            rows = state.s1_send_rows[r]
-            pft = state.pfts[r]
-            out = np.zeros((num_tokens_per_rank[r], hidden), dtype=dtype)
-            if rows.size:
-                token_ids = pft.token_ids[rows]
-                np.add.at(out, token_ids, returned[r])
-            outputs.append(out)
-        return outputs
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _pilot_slot(state: _RBDState, rank: int, src: int, pilot_row: int) -> int:
-        """Arrival index of a pilot (src, row) within ``rank``'s pilot buffer."""
-        is_rep = state.arrival_is_replica[rank]
-        pilot_positions = np.flatnonzero(~is_rep)
-        for slot, pos in enumerate(pilot_positions):
-            if (
-                int(state.arrival_src[rank][pos]) == src
-                and int(state.arrival_row[rank][pos]) == pilot_row
-            ):
-                return slot
-        raise KeyError(f"pilot ({src}, {pilot_row}) not found on rank {rank}")
+        return self.engine.combine(per_rank_expert_outputs, plan, num_tokens_per_rank)

@@ -8,6 +8,12 @@ throughput, mirroring how the paper reports Fig. 9 / Fig. 10 / Table 5.
 :func:`sweep_best_config` reproduces the paper's methodology of sweeping EP
 size, ZeRO stage, and (for TED/X-MoE) the TP degree, then reporting the best
 configuration that fits in memory.
+
+:func:`dispatcher_for_config` bridges the analytic trainer and the
+functional substrate: given an expert-parallel process group and a
+:class:`~repro.config.parallel_config.ParallelConfig`, it returns the
+plan-based dispatch engine (flat or RBD, per ``parallel.use_rbd``) that a
+functional validation run of that configuration uses.
 """
 
 from __future__ import annotations
@@ -15,11 +21,40 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.comm.process_group import ProcessGroup
 from repro.config.hardware import SystemSpec, frontier_system
 from repro.config.model_config import MoEModelConfig
 from repro.config.parallel_config import ParallelConfig, PlacementOrder, ZeroStage
+from repro.routing.engine import PlanDispatcher, make_dispatcher
 from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
 from repro.xmoe.perf_model import MoEPerformanceModel
+
+
+def dispatcher_for_config(
+    group: ProcessGroup,
+    num_experts: int,
+    parallel: ParallelConfig,
+    *,
+    expert_to_rank: np.ndarray | None = None,
+    seed: int = 0,
+) -> PlanDispatcher:
+    """The dispatch engine a training configuration calls for.
+
+    X-MoE configurations with ``use_rbd=True`` get the two-stage
+    redundancy-bypassing planner; everything else gets the flat
+    all-to-all planner.  Both sit behind the same
+    :class:`~repro.routing.engine.Dispatcher` protocol, so callers are
+    agnostic to which one they drive.
+    """
+    return make_dispatcher(
+        group,
+        num_experts,
+        use_rbd=bool(parallel.use_rbd),
+        expert_to_rank=expert_to_rank,
+        seed=seed,
+    )
 
 
 @dataclass

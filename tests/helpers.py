@@ -1,0 +1,15 @@
+"""Plain (non-conftest) helpers shared by test modules."""
+
+from __future__ import annotations
+
+
+def inter_node_bytes(stats, op_names) -> float:
+    """Bytes the named ops moved over inter-node (or cross-rack) links."""
+    from repro.cluster.topology import LinkTier
+
+    total = 0.0
+    for event in stats.events:
+        if event.op in op_names:
+            total += event.bytes_by_tier.get(LinkTier.INTER_NODE, 0.0)
+            total += event.bytes_by_tier.get(LinkTier.CROSS_RACK, 0.0)
+    return total

@@ -6,6 +6,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.baselines.deepspeed_moe import compute_capacity
 from repro.comm import CommWorld
+from repro.routing import make_dispatcher
+from tests.helpers import inter_node_bytes
 from repro.tensor import Tensor, ops
 from repro.xmoe import build_pft, build_pft_reference, gather_kernel, scatter_kernel
 from repro.xmoe.rbd import expected_redundancy_rate
@@ -154,6 +156,66 @@ class TestCollectiveProperties:
         for i in range(size):
             for j in range(size):
                 assert recv_splits[j][i] == splits[i][j]
+
+
+class TestDispatchOracleProperties:
+    """Randomized flat-vs-RBD equivalence (the routing-plan engine oracle)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=2),  # nodes (8 ranks per node)
+        st.integers(min_value=1, max_value=3),  # experts per rank
+        st.integers(min_value=1, max_value=8),  # top-k
+        st.integers(min_value=1, max_value=12),  # tokens per rank
+        st.integers(min_value=1, max_value=6),  # per-expert capacity (drops!)
+        st.integers(min_value=0, max_value=2**16),
+    )
+    def test_rbd_bit_identical_to_flat_with_capacity_drops(
+        self, nodes, experts_per_rank, top_k, tokens_per_rank, capacity, seed
+    ):
+        num_ranks = 8 * nodes
+        num_experts = experts_per_rank * num_ranks
+        top_k = min(top_k, num_experts)
+        hidden, ffn = 6, 3
+        rng = np.random.default_rng(seed)
+        w1 = rng.normal(size=(num_experts, hidden, ffn))
+        w2 = rng.normal(size=(num_experts, ffn, hidden))
+        tokens, pfts = [], []
+        for _ in range(num_ranks):
+            toks = rng.normal(size=(tokens_per_rank, hidden))
+            top_experts = np.argsort(
+                rng.random((tokens_per_rank, num_experts)), axis=1
+            )[:, :top_k]
+            weights = rng.uniform(0.05, 1.0, size=(tokens_per_rank, top_k))
+            pfts.append(build_pft(capacity, top_experts, weights, num_experts))
+            tokens.append(toks)
+
+        def run(world, use_rbd):
+            disp = make_dispatcher(
+                world.world_group(), num_experts, use_rbd=use_rbd, seed=seed
+            )
+            inputs, plan = disp.dispatch(tokens, pfts)
+            pw1 = [w1[disp.experts_on_rank(r)] for r in range(num_ranks)]
+            pw2 = [w2[disp.experts_on_rank(r)] for r in range(num_ranks)]
+            outputs = disp.run_experts(inputs, plan, pw1, pw2)
+            return disp.combine(outputs, plan, [tokens_per_rank] * num_ranks), plan
+
+        world_f = CommWorld(num_ranks=num_ranks)
+        world_r = CommWorld(num_ranks=num_ranks)
+        flat_out, flat_plan = run(world_f, use_rbd=False)
+        rbd_out, rbd_plan = run(world_r, use_rbd=True)
+        # Property 1: RBD output is bit-identical to the flat oracle.
+        for r in range(num_ranks):
+            assert flat_out[r].tobytes() == rbd_out[r].tobytes()
+        # Property 2: recorded inter-node bytes shrink by exactly the
+        # cross-node replica count times the row bytes.
+        row_bytes = hidden * 8
+        saved = inter_node_bytes(world_f.stats, {"dispatch_a2a"}) - inter_node_bytes(
+            world_r.stats, {"rbd_s1_a2a"}
+        )
+        assert saved == rbd_plan.cross_node_replicas * row_bytes
+        # Property 3: both plans agree on the assignment population.
+        assert flat_plan.total_assignments == rbd_plan.total_assignments
 
 
 class TestRedundancyProperties:

@@ -7,16 +7,8 @@ from repro.cluster.topology import LinkTier
 from repro.comm import CommWorld
 from repro.xmoe import DistributedMoEDispatcher, RBDDispatcher
 from repro.xmoe.rbd import expected_redundancy_rate, redundancy_rate
+from tests.helpers import inter_node_bytes
 from tests.test_xmoe_distributed import build_world, local_reference
-
-
-def inter_node_bytes(stats, op_names):
-    total = 0.0
-    for event in stats.events:
-        if event.op in op_names:
-            total += event.bytes_by_tier.get(LinkTier.INTER_NODE, 0.0)
-            total += event.bytes_by_tier.get(LinkTier.CROSS_RACK, 0.0)
-    return total
 
 
 class TestRedundancyRate:
@@ -72,7 +64,9 @@ class TestRBDDispatcher:
             np.testing.assert_allclose(combined[r], ref, atol=1e-10)
 
     def test_expert_inputs_match_flat_dispatcher(self):
-        """Every expert receives the same multiset of tokens either way."""
+        """Every expert receives the same buffer either way — the plan
+        engine's canonical (expert, src, row) ordering makes the inputs
+        identical row for row, not merely as multisets."""
         world1, group1, w1, w2, tokens, pfts = build_world(16, 32, 8, 4, 4, 16, seed=3)
         flat = DistributedMoEDispatcher(group1, 32)
         flat_inputs, _ = flat.dispatch(tokens, pfts)
@@ -81,9 +75,24 @@ class TestRBDDispatcher:
         rbd = RBDDispatcher(world2.world_group(), 32, seed=5)
         rbd_inputs, _ = rbd.dispatch(tokens, pfts)
         for r in range(16):
-            np.testing.assert_allclose(
-                np.sort(flat_inputs[r], axis=0), np.sort(rbd_inputs[r], axis=0), atol=1e-12
-            )
+            np.testing.assert_array_equal(flat_inputs[r], rbd_inputs[r])
+
+    def test_output_bit_identical_to_flat_dispatch(self):
+        """Stronger than allclose: flat and RBD combine outputs are equal
+        bit for bit because both fold partial sums in the same order."""
+        world1, group1, w1, w2, tokens, pfts = build_world(16, 32, 10, 5, 6, 20, seed=6)
+        flat = DistributedMoEDispatcher(group1, 32)
+        fin, fplan = flat.dispatch(tokens, pfts)
+        pw1 = [w1[flat.experts_on_rank(r)] for r in range(16)]
+        pw2 = [w2[flat.experts_on_rank(r)] for r in range(16)]
+        fout = flat.combine(flat.run_experts(fin, fplan, pw1, pw2), fplan, [20] * 16)
+
+        world2 = CommWorld(num_ranks=16)
+        rbd = RBDDispatcher(world2.world_group(), 32, seed=8)
+        rin, rplan = rbd.dispatch(tokens, pfts)
+        rout = rbd.combine(rbd.run_experts(rin, rplan, pw1, pw2), rplan, [20] * 16)
+        for r in range(16):
+            assert fout[r].tobytes() == rout[r].tobytes()
 
     def test_reduces_inter_node_bytes(self):
         """The headline claim of §4.2: only pilot tokens cross nodes."""
@@ -114,7 +123,7 @@ class TestRBDDispatcher:
     def test_plan_counts(self):
         world, group, w1, w2, tokens, pfts = build_world(16, 32, 8, 4, 4, 32, seed=1)
         rbd = RBDDispatcher(group, 32, seed=1)
-        plan = rbd.plan(pfts[0])
+        plan = rbd.stage0_plan(pfts[0])
         assert plan.num_pilots + plan.num_replicas == pfts[0].num_routed_tokens
         assert 0.0 <= plan.redundancy < 1.0
         # A token going to n distinct nodes contributes exactly n pilots.
