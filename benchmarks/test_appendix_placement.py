@@ -7,7 +7,6 @@ same expert co-located within a node) wins on Frontier's 25 GB/s inter-node
 links.
 """
 
-import pytest
 
 from conftest import print_table
 

@@ -257,8 +257,14 @@ def test_dispatch_plan_micro():
         },
         "speedup_vs_seed_bookkeeping": round(speedup, 2),
     }
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    # The record is a machine-local convenience, not a test artifact: create
+    # benchmarks/results/ on demand and tolerate read-only checkouts (CI
+    # caches, sandboxed runners) by skipping the write instead of failing.
+    try:
+        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"note: skipping perf-record write to {RESULTS_PATH} ({exc})")
 
     print_table(
         f"Dispatch-plan micro-benchmark (S={S}, k={K}, E={E}, {NODES} nodes)",

@@ -9,7 +9,6 @@ Paper shape:
       diminishing returns at 1024 GPUs where all-to-all latency dominates.
 """
 
-import pytest
 
 from conftest import print_table
 

@@ -8,7 +8,6 @@ Large model (EP=64) the all-to-alls dominate and X-MoE roughly halves them
 by eliminating zero padding.
 """
 
-import pytest
 
 from conftest import print_table
 

@@ -5,7 +5,6 @@ throughput (24.14 vs 16.44 TFLOPs, ~1.47x) because checkpointing pays for
 recomputation plus two extra all-to-alls per MoE layer in the backward pass.
 """
 
-import pytest
 
 from conftest import print_table
 

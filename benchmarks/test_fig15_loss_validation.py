@@ -11,7 +11,6 @@ uses exactly the two pipeline implementations under test.
 """
 
 import numpy as np
-import pytest
 
 from conftest import print_table
 

@@ -6,7 +6,6 @@ the Mixtral family in TED's, and Arctic flips from TED to SSMB as the
 sequence length grows.
 """
 
-import pytest
 
 from conftest import print_table
 

@@ -8,7 +8,6 @@ training with stable (>22 TFLOPs) throughput from 8 to 24 layers;
 and X-MoE removes padding and redundant inter-node copies.
 """
 
-import pytest
 
 from conftest import print_table
 
@@ -54,7 +53,7 @@ def test_fig20_left_depth_scaling(benchmark):
     print_table("Fig. 20 (left) — throughput vs number of layers", rows)
 
     # X-MoE trains every depth with healthy throughput.
-    xmoe = [results[l][SystemKind.XMOE] for l in LAYERS]
+    xmoe = [results[layers][SystemKind.XMOE] for layers in LAYERS]
     assert all(not r.oom for r in xmoe)
     assert min(r.tflops_per_gpu for r in xmoe) > 10.0
     # Baselines hit OOM as depth grows.

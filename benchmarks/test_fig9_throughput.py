@@ -8,7 +8,6 @@ throughput on the configurations every system can train (paper: 1.42x over
 Tutel and 5.15x over TED on Medium).
 """
 
-import pytest
 
 from conftest import print_table
 

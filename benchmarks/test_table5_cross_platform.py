@@ -12,7 +12,6 @@ part of the shape: X-MoE always trains, X-MoE's activation footprint is the
 smallest, and all systems train the SR/LR variants.
 """
 
-import pytest
 
 from conftest import print_table
 

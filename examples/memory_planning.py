@@ -7,7 +7,7 @@ and which published MoE architectures prefer SSMB over TED (Fig. 17).
 Run:  python examples/memory_planning.py
 """
 
-from repro.analysis import KNOWN_MOE_MODELS, tradeoff_table
+from repro.analysis import tradeoff_table
 from repro.config import ParallelConfig, paper_config
 from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
 from repro.xmoe.ssmb import ssmb_activation_saving_bytes, ssmb_beats_ted

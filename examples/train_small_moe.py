@@ -5,7 +5,13 @@ once with the DeepSpeed-MoE style zero-padded pipeline (negative-score
 token dropping) and once with X-MoE's padding-free pipeline (capacity-only
 dropping), then prints the two loss curves side by side.
 
-Run:  python examples/train_small_moe.py [--steps 60]
+``--router`` selects the routing regime: the default ``softmax-topk``
+reproduces the paper's comparison (the two pipelines differ only by drop
+policy), while ``switch-top1`` / ``noisy-topk`` / ``expert-choice`` run
+both pipelines under that policy instead — routing is an experimental
+axis, not a constant (see ``repro.routing.policies``).
+
+Run:  python examples/train_small_moe.py [--steps 60] [--router softmax-topk]
 """
 
 import argparse
@@ -19,11 +25,12 @@ from repro.moe import (
     SyntheticLMDataset,
     TransformerConfig,
 )
+from repro.routing import ROUTER_POLICY_NAMES
 from repro.tensor import Adam
 from repro.xmoe import PaddingFreeMoELayer
 
 
-def make_config(drop_policy: DropPolicy) -> TransformerConfig:
+def make_config(drop_policy: DropPolicy, router: str) -> TransformerConfig:
     return TransformerConfig(
         vocab_size=128,
         hidden_size=32,
@@ -34,6 +41,7 @@ def make_config(drop_policy: DropPolicy) -> TransformerConfig:
         seq_length=64,
         capacity_factor=1.5,
         drop_policy=drop_policy,
+        router=router,
     )
 
 
@@ -54,19 +62,34 @@ def train(model: MoETransformerLM, steps: int, data_seed: int) -> list[float]:
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--steps", type=int, default=60)
+    parser.add_argument(
+        "--router",
+        choices=sorted(ROUTER_POLICY_NAMES),
+        default="softmax-topk",
+        help="router policy both pipelines train with",
+    )
     args = parser.parse_args()
 
+    # The score-threshold vs capacity-only contrast is a property of the
+    # default softmax router; other policies decide their own drops, so both
+    # pipelines share the same drop policy under them.
+    ds_drop = (
+        DropPolicy.SCORE_THRESHOLD
+        if args.router == "softmax-topk"
+        else DropPolicy.CAPACITY_ONLY
+    )
     deepspeed_model = MoETransformerLM(
-        make_config(DropPolicy.SCORE_THRESHOLD),
+        make_config(ds_drop, args.router),
         lambda gate, experts, cap: PaddedMoELayer(gate, experts, cap),
         seed=21,
     )
     xmoe_model = MoETransformerLM(
-        make_config(DropPolicy.CAPACITY_ONLY),
+        make_config(DropPolicy.CAPACITY_ONLY, args.router),
         lambda gate, experts, cap: PaddingFreeMoELayer(gate, experts, cap),
         seed=21,
     )
-    print(f"model parameters: {xmoe_model.num_parameters():,}")
+    print(f"router policy    : {args.router}")
+    print(f"model parameters : {xmoe_model.num_parameters():,}")
     print(f"training both pipelines for {args.steps} steps on identical data...\n")
 
     ds_losses = train(deepspeed_model, args.steps, data_seed=5)
@@ -81,9 +104,14 @@ def main():
     corr = np.corrcoef(ds_losses, xmoe_losses)[0, 1]
     print(f"\nmean |loss difference| : {diff.mean():.4f}")
     print(f"curve correlation      : {corr:.4f}")
-    print("\nAs in Fig. 15, the padding-free pipeline tracks the baseline's")
-    print("convergence; small residual differences come from the different")
-    print("token-dropping rules (X-MoE retains more tokens).")
+    if args.router == "softmax-topk":
+        print("\nAs in Fig. 15, the padding-free pipeline tracks the baseline's")
+        print("convergence; small residual differences come from the different")
+        print("token-dropping rules (X-MoE retains more tokens).")
+    else:
+        print(f"\nBoth pipelines route with {args.router!r}; differences come")
+        print("from the padded pipeline's GShard capacity rule on top of the")
+        print("policy's own dropping.")
 
 
 if __name__ == "__main__":

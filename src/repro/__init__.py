@@ -24,9 +24,9 @@ Top-level layout (see DESIGN.md for the experiment index):
 * :mod:`repro.analysis` — redundancy / trade-off / sensitivity analyses.
 """
 
-__version__ = "0.1.0"
-
 from repro import analysis, baselines, cluster, comm, config, moe, routing, tensor, xmoe
+
+__version__ = "0.2.0"
 
 __all__ = [
     "config",

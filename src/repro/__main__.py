@@ -18,7 +18,7 @@ import argparse
 
 
 def _cmd_configs(_args) -> None:
-    from repro.config import PAPER_CONFIGS, paper_config
+    from repro.config import paper_config
 
     print(f"{'model':>8} | {'total (B)':>10} | {'activated (B)':>14} | experts | top-k | layers")
     for name in ("small", "medium", "large", "super"):

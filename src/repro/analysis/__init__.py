@@ -8,6 +8,8 @@
   across GPU scale, with cross-rack congestion outliers (Figs. 18–19).
 * :mod:`repro.analysis.checkpointing` — activation-checkpointing vs SSMB
   comparison (Fig. 14).
+* :mod:`repro.analysis.load_balance` — per-policy load-balance comparison
+  over skewed token distributions (router-policy subsystem).
 """
 
 from repro.analysis.redundancy import (
@@ -26,6 +28,7 @@ from repro.analysis.sensitivity import (
     mean_latency_by_scale,
 )
 from repro.analysis.checkpointing import compare_ssmb_vs_checkpointing
+from repro.analysis.load_balance import policy_load_balance_table
 
 __all__ = [
     "redundancy_by_ep_size",
@@ -38,4 +41,5 @@ __all__ = [
     "characterize_alltoall_latency",
     "mean_latency_by_scale",
     "compare_ssmb_vs_checkpointing",
+    "policy_load_balance_table",
 ]

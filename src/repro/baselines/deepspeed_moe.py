@@ -27,7 +27,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.moe.experts import ExpertBank
-from repro.moe.gating import DropPolicy, GateOutput, TopKGate
+from repro.moe.gating import GateOutput, TopKGate
 from repro.tensor import ops
 from repro.tensor.autograd import Tensor
 
@@ -103,6 +103,7 @@ class PaddedMoELayer:
         self.capacity_factor = capacity_factor
         self.combine_dtype_bytes = combine_dtype_bytes
         self.last_stats: PaddedDispatchStats | None = None
+        self._step = 0  # decorrelates router exploration noise across calls
 
     def parameters(self) -> list[Tensor]:
         return self.gate.parameters() + self.experts.parameters()
@@ -111,7 +112,8 @@ class PaddedMoELayer:
     def __call__(self, tokens: Tensor) -> tuple[Tensor, Tensor]:
         """Forward ``[S, H]`` tokens through gate → padded dispatch →
         batched experts → weighted combine."""
-        gate_out = self.gate(tokens)
+        gate_out = self.gate(tokens, step=self._step)
+        self._step += 1
         s, h = tokens.shape
         e = self.gate.num_experts
         k = self.gate.top_k
@@ -132,9 +134,12 @@ class PaddedMoELayer:
         combine_weights = gate_out.probs[token_idx, expert_idx]
         output = ops.scatter_rows(per_assignment, token_idx, s, weights=combine_weights)
 
+        num_assignments = (
+            gate_out.decision.num_assignments if gate_out.decision is not None else s * k
+        )
         self.last_stats = PaddedDispatchStats(
             num_tokens=s,
-            num_assignments=s * k,
+            num_assignments=num_assignments,
             capacity=capacity,
             num_experts=e,
             hidden_size=h,
@@ -147,13 +152,25 @@ class PaddedMoELayer:
     # ------------------------------------------------------------------
     def _plan_dispatch(self, gate_out: GateOutput, capacity: int):
         """Compute kept (token, expert, slot) assignments under the baseline's
-        dropping rules: negative-score drops first, then capacity in token
-        order (GShard semantics)."""
-        top_experts = gate_out.top_experts
-        s, k = top_experts.shape
-        token_idx = np.repeat(np.arange(s, dtype=np.int64), k)
-        expert_idx = top_experts.reshape(-1).astype(np.int64)
-        drop_score = gate_out.drop_eligible.reshape(-1)
+        dropping rules: policy-level drops first (negative-score under the
+        default router, capacity-factor under switch-top-1), then capacity in
+        token order (GShard semantics).
+
+        Works from the gate's :class:`RoutingDecision` when present — so any
+        router policy, including assignment-level expert-choice routing, can
+        drive the padded baseline; for the default policy the flat arrays
+        equal the legacy ``[S, k]`` flattening bit for bit.
+        """
+        if gate_out.decision is not None:
+            token_idx = gate_out.decision.token_ids
+            expert_idx = gate_out.decision.expert_ids
+            drop_score = gate_out.decision.dropped
+        else:
+            top_experts = gate_out.top_experts
+            s, k = top_experts.shape
+            token_idx = np.repeat(np.arange(s, dtype=np.int64), k)
+            expert_idx = top_experts.reshape(-1).astype(np.int64)
+            drop_score = gate_out.drop_eligible.reshape(-1)
 
         keep_after_score = ~drop_score
         dropped_score = int(drop_score.sum())

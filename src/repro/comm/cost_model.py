@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.network import NetworkModel, TransferEstimate
-from repro.cluster.topology import LinkTier, Topology
 
 
 def alltoall_traffic_matrix(

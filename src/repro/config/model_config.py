@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
@@ -54,6 +54,11 @@ class MoEModelConfig:
         layers use a dense FFN of width ``dense_ffn_hidden_size``.
     dense_ffn_hidden_size:
         Width of dense FFN layers (defaults to ``4 * hidden_size``).
+    router:
+        Router-policy spec: the name of a registered
+        :mod:`repro.routing.policies` policy (``"softmax-topk"``,
+        ``"switch-top1"``, ``"noisy-topk"``, ``"expert-choice"``).
+        ``repro.xmoe.trainer.policy_for_config`` instantiates it.
     """
 
     name: str
@@ -69,6 +74,7 @@ class MoEModelConfig:
     dtype_bytes: int = 2
     moe_layer_frequency: int = 1
     dense_ffn_hidden_size: int | None = None
+    router: str = "softmax-topk"
 
     def __post_init__(self) -> None:
         if self.seq_length <= 0:
@@ -95,6 +101,15 @@ class MoEModelConfig:
             raise ValueError(
                 "moe_layer_frequency must be positive, got "
                 f"{self.moe_layer_frequency}"
+            )
+        # Imported lazily: repro.routing pulls in the comm/cluster stack,
+        # which itself reads repro.config.hardware at import time.
+        from repro.routing.policies import ROUTER_POLICY_NAMES
+
+        if self.router not in ROUTER_POLICY_NAMES:
+            raise ValueError(
+                f"unknown router policy {self.router!r}; "
+                f"available: {sorted(ROUTER_POLICY_NAMES)}"
             )
 
     # ------------------------------------------------------------------
@@ -238,6 +253,7 @@ class MoEModelConfig:
             "num_experts": self.num_experts,
             "top_k": self.top_k,
             "num_layers": self.num_layers,
+            "router": self.router,
             "total_params_B": self.total_params() / 1e9,
             "activated_params_B": self.activated_params() / 1e9,
         }

@@ -18,7 +18,7 @@ The paper combines
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class ZeroStage(enum.IntEnum):
@@ -70,6 +70,11 @@ class ParallelConfig:
         Global batch size (sequences).
     activation_checkpointing:
         Recompute activations in the backward pass instead of storing them.
+    router_seed:
+        Seed for run-time routing randomness: the router policy's
+        exploration noise and the RBD planner's pilot selection both derive
+        per-step generators from it, so a configuration is reproducible
+        end to end.
     """
 
     world_size: int
@@ -82,6 +87,7 @@ class ParallelConfig:
     micro_batch_size: int = 1
     global_batch_size: int = 1024
     activation_checkpointing: bool = False
+    router_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.world_size <= 0:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.moe.blocks import CausalSelfAttention, LayerNorm, Linear
 from repro.moe.experts import ExpertBank
 from repro.moe.gating import DropPolicy, TopKGate
+from repro.routing.policies import ROUTER_POLICY_NAMES, make_policy
 from repro.tensor import ops
 from repro.tensor.autograd import Tensor
 
@@ -43,7 +44,13 @@ MoELayerFactory = Callable[[TopKGate, ExpertBank, float], MoELayerProtocol]
 
 @dataclass(frozen=True)
 class TransformerConfig:
-    """Architecture of the tiny validation transformer."""
+    """Architecture of the tiny validation transformer.
+
+    ``router`` names a registered :mod:`repro.routing.policies` policy; the
+    default ``"softmax-topk"`` reproduces the legacy gate bit for bit (with
+    ``drop_policy`` selecting its score-threshold knob), while any other
+    name routes every MoE layer through that policy instead.
+    """
 
     vocab_size: int = 512
     hidden_size: int = 64
@@ -55,6 +62,8 @@ class TransformerConfig:
     capacity_factor: float = 1.25
     drop_policy: DropPolicy = DropPolicy.CAPACITY_ONLY
     aux_loss_coef: float = 0.01
+    router: str = "softmax-topk"
+    router_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.top_k > self.num_experts:
@@ -67,6 +76,11 @@ class TransformerConfig:
             self.seq_length,
         ) <= 0:
             raise ValueError("all transformer dimensions must be positive")
+        if self.router not in ROUTER_POLICY_NAMES:
+            raise ValueError(
+                f"unknown router policy {self.router!r}; "
+                f"available: {sorted(ROUTER_POLICY_NAMES)}"
+            )
 
 
 class _TransformerLayer:
@@ -81,6 +95,20 @@ class _TransformerLayer:
         self.ln1 = LayerNorm(config.hidden_size)
         self.attn = CausalSelfAttention(config.hidden_size, rng)
         self.ln2 = LayerNorm(config.hidden_size)
+        if config.router == "softmax-topk":
+            # None lets TopKGate build the DropPolicy-matched default policy,
+            # keeping this path bit-identical to the pre-policy gate.
+            policy = None
+        else:
+            policy = make_policy(
+                config.router,
+                config.hidden_size,
+                config.num_experts,
+                config.top_k,
+                capacity_factor=config.capacity_factor,
+                aux_loss_coef=config.aux_loss_coef,
+                seed=config.router_seed,
+            )
         gate = TopKGate(
             config.hidden_size,
             config.num_experts,
@@ -88,6 +116,7 @@ class _TransformerLayer:
             rng=rng,
             drop_policy=config.drop_policy,
             aux_loss_coef=config.aux_loss_coef,
+            policy=policy,
         )
         experts = ExpertBank(
             config.num_experts,

@@ -1,34 +1,81 @@
-"""repro.routing — the vectorized routing-plan engine.
+"""repro.routing — routing policies, plans, and the dispatch engine.
 
-One dispatch abstraction for flat all-to-all and redundancy-bypassing
-dispatch:
+This package owns everything between "hidden states" and "tokens sitting in
+front of their experts", split into two orthogonal layers:
 
-* :mod:`repro.routing.plan` — :class:`DispatchPlan`, all dispatch/combine
-  bookkeeping as flat numpy arrays built once per step.
-* :mod:`repro.routing.planner` — :class:`FlatPlanner` (single uneven
-  all-to-all; the RBD correctness oracle) and :class:`RBDPlanner`
-  (two-stage, pilot/replica) compile PFTs into plans with whole-array
-  numpy operations only.
-* :mod:`repro.routing.engine` — the :class:`Dispatcher` protocol
-  (``plan → dispatch → run_experts → combine``) and
-  :class:`PlanDispatcher`, the thin executor that interprets a plan.
+**Policies — what the router decides** (:mod:`repro.routing.policies`)
+    A :class:`RouterPolicy` maps hidden states to a :class:`RoutingDecision`:
+    flat ``(token, expert, score, dropped)`` assignment arrays plus aux/z
+    losses and the full probability matrix.  Four policies ship with the
+    repo — softmax top-k (the paper's router, bit-identical to the legacy
+    ``TopKGate`` path), Switch top-1 with exploration noise and
+    capacity-factor dropping, noisy top-k with z-loss, and expert-choice
+    routing (experts pick tokens; load balance by construction).  Policies
+    are the *experimental axis*: swap one in via ``ModelConfig.router``,
+    `make_policy`, or the ``--router`` CLI flag.
+
+**Planners + engine — how the decision is executed**
+    (:mod:`repro.routing.plan`, :mod:`repro.routing.planner`,
+    :mod:`repro.routing.engine`)
+    A decision becomes a PFT (``RoutingDecision.to_pft``), per-rank PFTs are
+    compiled by :class:`FlatPlanner` (single uneven all-to-all; the
+    correctness oracle) or :class:`RBDPlanner` (two-stage
+    redundancy-bypassing dispatch) into a :class:`DispatchPlan` — all
+    dispatch/combine bookkeeping as flat numpy arrays, built once per step —
+    and :class:`PlanDispatcher` executes the plan behind the
+    :class:`Dispatcher` protocol (``plan → dispatch → run_experts →
+    combine``).  Policy-dropped tokens never enter the plan, so their
+    combine rows are exactly zero on both paths; flat and RBD outputs are
+    bit-identical.
+
+**Telemetry — what actually happened** (:mod:`repro.routing.telemetry`)
+    :class:`RoutingTelemetry` accumulates per-expert load histograms, drop
+    rates, normalized balance entropy, dispatched bytes, and redundancy,
+    step over step; ``benchmarks/test_router_policies.py`` sweeps every
+    policy over flat and RBD dispatch and prints the comparison table.
 
 The legacy classes :class:`repro.xmoe.pipeline.DistributedMoEDispatcher`
-and :class:`repro.xmoe.rbd.RBDDispatcher` are now wrappers over this
-engine.
+and :class:`repro.xmoe.rbd.RBDDispatcher` are thin wrappers over this
+engine, and :class:`repro.moe.gating.TopKGate` delegates its selection to a
+policy (``DropPolicy`` maps onto the default policy's score-threshold knob).
 """
 
 from repro.routing.plan import DispatchPlan
 from repro.routing.planner import FlatPlanner, RBDPlan, RBDPlanner, select_pilots
 from repro.routing.engine import Dispatcher, PlanDispatcher, make_dispatcher
+from repro.routing.policies import (
+    ROUTER_POLICIES,
+    ROUTER_POLICY_NAMES,
+    ExpertChoicePolicy,
+    NoisyTopKPolicy,
+    RouterPolicy,
+    RoutingDecision,
+    SoftmaxTopKPolicy,
+    SwitchTop1Policy,
+    make_policy,
+    skewed_router_tokens,
+)
+from repro.routing.telemetry import RoutingTelemetry, load_balance_entropy
 
 __all__ = [
     "DispatchPlan",
     "Dispatcher",
+    "ExpertChoicePolicy",
     "FlatPlanner",
+    "NoisyTopKPolicy",
     "PlanDispatcher",
     "RBDPlan",
     "RBDPlanner",
+    "ROUTER_POLICIES",
+    "ROUTER_POLICY_NAMES",
+    "RouterPolicy",
+    "RoutingDecision",
+    "RoutingTelemetry",
+    "SoftmaxTopKPolicy",
+    "SwitchTop1Policy",
+    "load_balance_entropy",
     "make_dispatcher",
+    "make_policy",
     "select_pilots",
+    "skewed_router_tokens",
 ]

@@ -1,0 +1,619 @@
+"""Pluggable router policies: *what* the router emits, behind one protocol.
+
+The planners in :mod:`repro.routing.planner` consume per-rank PFTs; a PFT is
+just a flat list of (token, expert, weight) assignments.  This module makes
+the step that *produces* those assignments pluggable: a
+:class:`RouterPolicy` maps hidden states to a :class:`RoutingDecision` — the
+flat-numpy routing form every downstream consumer (PFT construction, the
+flat/RBD planners, the padded baselines, telemetry) already understands.
+
+Four policies ship with the repo:
+
+* :class:`SoftmaxTopKPolicy` — the paper's softmax top-k router, factored
+  out of :class:`repro.moe.gating.TopKGate`.  Bit-identical to the legacy
+  gate path (the oracle test in ``tests/test_router_policies.py`` checks
+  this), including the optional DeepSpeed-MoE negative-score drop rule.
+* :class:`SwitchTop1Policy` — Switch-Transformer top-1 routing with
+  multiplicative exploration noise on the logits and capacity-factor token
+  dropping decided *inside* the policy (``drops_early``).
+* :class:`NoisyTopKPolicy` — top-k over additively perturbed logits
+  (Shazeer-style exploration) with a router z-loss.
+* :class:`ExpertChoicePolicy` — experts pick tokens: each expert takes its
+  top-``capacity`` tokens by router probability, so per-expert load is
+  balanced *by construction* (never more than one token apart).
+
+Determinism mirrors the planners: every noisy policy derives a fresh
+generator from ``(seed, step)`` on each :meth:`RouterPolicy.route` call, so
+the same ``(seed, step)`` always produces the same decision and there is no
+hidden RNG state mutating across calls.
+
+Dropped tokens and bit-exact combine
+------------------------------------
+A policy marks dropped assignments in ``RoutingDecision.dropped``;
+:meth:`RoutingDecision.to_pft` filters them out *before* planning, so a
+dropped token simply never enters the :class:`~repro.routing.plan.DispatchPlan`
+and its combine output row stays exactly zero (the combine scatter starts
+from a zero buffer).  Because flat and RBD plans share the canonical fold
+orders, the zero rows — like every other row — are bit-identical between
+the two dispatch paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.routing.telemetry import load_balance_entropy
+from repro.tensor.ops import topk as _topk
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax, bit-identical to ``repro.tensor.ops.softmax``."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def _z_loss(logits: np.ndarray) -> float:
+    """Router z-loss: mean squared log-partition (keeps logits small)."""
+    if logits.size == 0:
+        return 0.0
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1)) + logits.max(axis=-1)
+    return float(np.mean(lse**2))
+
+
+# ----------------------------------------------------------------------
+# The decision object
+# ----------------------------------------------------------------------
+@dataclass
+class RoutingDecision:
+    """Everything a router policy decided for one batch of tokens.
+
+    The canonical form is *assignment-level* flat arrays (``token_ids``,
+    ``expert_ids``, ``scores``, ``dropped``, all of length ``A``) because not
+    every policy emits a rectangular ``[S, k]`` selection (expert-choice
+    routing assigns a variable number of experts per token).  Token-choice
+    policies additionally provide the familiar ``[S, k]`` views
+    (``top_experts`` / ``top_scores`` / ``drop_mask``); these are ``None``
+    for assignment-level policies.
+
+    ``dropped`` marks assignments the *policy itself* discards (score
+    threshold, policy-level capacity); everything else survives until the
+    capacity rule of PFT construction.
+    """
+
+    num_tokens: int
+    num_experts: int
+    token_ids: np.ndarray  # [A] int64, token-major for token-choice policies
+    expert_ids: np.ndarray  # [A] int64
+    scores: np.ndarray  # [A] float64 combine weights
+    dropped: np.ndarray  # [A] bool — dropped by the policy, never dispatched
+    probs: np.ndarray  # [S, E] router probabilities (telemetry / analysis)
+    aux_loss: float
+    z_loss: float
+    top_experts: np.ndarray | None = None  # [S, k] view (token-choice only)
+    top_scores: np.ndarray | None = None
+    drop_mask: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_topk(
+        cls,
+        top_experts: np.ndarray,
+        top_scores: np.ndarray,
+        drop_mask: np.ndarray,
+        *,
+        num_experts: int,
+        probs: np.ndarray,
+        aux_loss: float,
+        z_loss: float,
+    ) -> "RoutingDecision":
+        """Flatten a rectangular ``[S, k]`` selection, row-major.
+
+        The flattening order matches ``repro.xmoe.pft._flatten_assignments``
+        exactly, which is what keeps the default policy's PFTs bit-identical
+        to the legacy ``build_pft`` path.
+        """
+        s, k = top_experts.shape
+        return cls(
+            num_tokens=s,
+            num_experts=num_experts,
+            token_ids=np.repeat(np.arange(s, dtype=np.int64), k),
+            expert_ids=top_experts.reshape(-1).astype(np.int64),
+            scores=top_scores.reshape(-1).astype(np.float64),
+            dropped=drop_mask.reshape(-1).astype(bool),
+            probs=probs,
+            aux_loss=aux_loss,
+            z_loss=z_loss,
+            top_experts=top_experts,
+            top_scores=top_scores,
+            drop_mask=drop_mask,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_assignments(self) -> int:
+        return int(self.token_ids.size)
+
+    @property
+    def num_dropped(self) -> int:
+        return int(self.dropped.sum())
+
+    @property
+    def drop_rate(self) -> float:
+        if self.num_assignments == 0:
+            return 0.0
+        return self.num_dropped / self.num_assignments
+
+    def expert_load(self) -> np.ndarray:
+        """Surviving (policy-kept) assignments per expert."""
+        return np.bincount(
+            self.expert_ids[~self.dropped], minlength=self.num_experts
+        ).astype(np.int64)
+
+    def balance_entropy(self) -> float:
+        """Normalized entropy of the per-expert load (1.0 = perfectly even)."""
+        return load_balance_entropy(self.expert_load())
+
+    # ------------------------------------------------------------------
+    def to_pft(self, max_token_count: int | None = None):
+        """Compile the surviving assignments into a planner-ready PFT.
+
+        Policy-dropped assignments are filtered here, *before* planning, so
+        they never enter a :class:`~repro.routing.plan.DispatchPlan`: a fully
+        dropped token's combine output row stays exactly zero on both the
+        flat and the RBD path.  ``max_token_count`` additionally applies the
+        standard capacity-only rule of PFT construction (pass ``None`` for
+        no capacity cap).
+        """
+        from repro.xmoe.pft import build_pft_flat
+
+        keep = ~self.dropped
+        return build_pft_flat(
+            max_token_count if max_token_count is not None else 2**62,
+            self.token_ids[keep],
+            self.expert_ids[keep],
+            self.scores[keep],
+            self.num_experts,
+            self.num_tokens,
+        )
+
+    def validate(self) -> None:
+        """Internal-consistency checks (used by the test suite)."""
+        a = self.token_ids.size
+        if not (self.expert_ids.size == self.scores.size == self.dropped.size == a):
+            raise AssertionError("assignment arrays disagree on length")
+        if a and (self.token_ids.min() < 0 or self.token_ids.max() >= self.num_tokens):
+            raise AssertionError("token_ids out of range")
+        if a and (self.expert_ids.min() < 0 or self.expert_ids.max() >= self.num_experts):
+            raise AssertionError("expert_ids out of range")
+        if self.probs.shape != (self.num_tokens, self.num_experts):
+            raise AssertionError("probs must be [num_tokens, num_experts]")
+
+
+# ----------------------------------------------------------------------
+# The policy protocol and its implementations
+# ----------------------------------------------------------------------
+@runtime_checkable
+class RouterPolicy(Protocol):
+    """A router policy: hidden states in, :class:`RoutingDecision` out.
+
+    ``drops_early`` declares whether the policy discards assignments itself
+    (score-threshold or policy-level capacity) — the single invariant
+    :class:`repro.moe.gating.TopKGate` asserts on every call.
+    """
+
+    name: str
+    num_experts: int
+    drops_early: bool
+
+    def route(self, hidden: np.ndarray, step: int | None = None) -> RoutingDecision:
+        """Route ``[S, H]`` hidden states (uses the policy's own weight)."""
+        ...
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        """Route from precomputed ``[S, E]`` logits (gate-driven path).
+
+        ``probs`` optionally passes the caller's already-computed softmax of
+        ``logits`` so noise-free policies skip recomputing it; noisy
+        policies ignore it (their softmax runs over perturbed logits).
+        """
+        ...
+
+
+class _PolicyBase:
+    """Weight/RNG/aux-loss bookkeeping shared by the shipped policies."""
+
+    name: str = ""
+    drops_early: bool = False
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        *,
+        weight: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+        aux_loss_coef: float = 0.01,
+        z_loss_coef: float = 0.0,
+        seed: int = 0,
+    ):
+        if num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        self.hidden_size = hidden_size
+        self.num_experts = num_experts
+        self.aux_loss_coef = aux_loss_coef
+        self.z_loss_coef = z_loss_coef
+        self.seed = seed
+        if weight is None and rng is not None:
+            std = 1.0 / np.sqrt(hidden_size)
+            weight = rng.normal(0.0, std, size=(hidden_size, num_experts))
+        self.weight = weight  # None = selection-only (driven by a gate's logits)
+
+    # -- determinism: same (seed, step) -> same generator ---------------
+    def _rng(self, step: int | None) -> np.random.Generator:
+        if step is None:
+            return np.random.default_rng(self.seed)
+        return np.random.default_rng((self.seed, int(step)))
+
+    def route(self, hidden: np.ndarray, step: int | None = None) -> RoutingDecision:
+        if self.weight is None:
+            raise ValueError(
+                f"{type(self).__name__} has no router weight; construct it with "
+                "weight=/rng= or drive it from a gate's logits via decide()"
+            )
+        hidden = np.asarray(hidden, dtype=np.float64)
+        if hidden.ndim != 2 or hidden.shape[1] != self.hidden_size:
+            raise ValueError(f"expected [S, {self.hidden_size}] hidden, got {hidden.shape}")
+        return self.decide(hidden @ self.weight, step=step)
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        raise NotImplementedError
+
+    def _scaled_z_loss(self, logits: np.ndarray) -> float:
+        """``z_loss_coef * z_loss``, skipping the logsumexp when coef is 0."""
+        if not self.z_loss_coef:
+            return 0.0
+        return self.z_loss_coef * _z_loss(logits)
+
+    # -- shared loss terms ---------------------------------------------
+    def _aux_loss(self, probs: np.ndarray, expert_ids: np.ndarray) -> float:
+        """Switch-Transformer balance loss (same formula as ``TopKGate``)."""
+        counts = np.bincount(
+            expert_ids.reshape(-1), minlength=self.num_experts
+        ).astype(np.float64)
+        fraction = counts / max(1, expert_ids.size)
+        mean_probs = probs.mean(axis=0)
+        return float((mean_probs * fraction).sum() * (self.aux_loss_coef * self.num_experts))
+
+
+class SoftmaxTopKPolicy(_PolicyBase):
+    """The paper's router: softmax over logits, top-k selection.
+
+    With ``score_threshold=True`` the policy additionally marks assignments
+    whose *raw* (pre-softmax) logit is negative as dropped — DeepSpeed-MoE's
+    rule (§5.6).  With the default ``score_threshold=False`` it never drops
+    anything itself: all dropping is capacity-only, applied later during PFT
+    construction.  This is the invariant behind
+    :class:`repro.moe.gating.DropPolicy`.
+    """
+
+    name = "softmax-topk"
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        top_k: int,
+        *,
+        score_threshold: bool = False,
+        **kwargs,
+    ):
+        super().__init__(hidden_size, num_experts, **kwargs)
+        if not (1 <= top_k <= num_experts):
+            raise ValueError(f"top_k={top_k} must be in [1, {num_experts}]")
+        self.top_k = top_k
+        self.score_threshold = score_threshold
+        self.drops_early = bool(score_threshold)
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        logits = np.asarray(logits, dtype=np.float64)
+        if probs is None:
+            probs = _softmax(logits)
+        top_scores, top_experts = _topk(probs, self.top_k, axis=-1)
+        if self.score_threshold:
+            raw = np.take_along_axis(logits, top_experts, axis=-1)
+            drop_mask = raw < 0.0
+        else:
+            drop_mask = np.zeros_like(top_experts, dtype=bool)
+        return RoutingDecision.from_topk(
+            top_experts,
+            top_scores,
+            drop_mask,
+            num_experts=self.num_experts,
+            probs=probs,
+            aux_loss=self._aux_loss(probs, top_experts),
+            z_loss=self._scaled_z_loss(logits),
+        )
+
+
+class SwitchTop1Policy(_PolicyBase):
+    """Switch-Transformer top-1 routing with exploration noise and capacity.
+
+    Multiplicative noise sampled from ``[1 - eps, 1 + eps)`` perturbs the
+    logits before selection (exploration); combine scores still come from
+    the noisy softmax, matching the Switch recipe.  Each expert keeps only
+    its ``ceil(capacity_factor * S / E)`` best-scoring tokens; the overflow
+    is dropped *by the policy* (``drops_early=True``), before any plan is
+    built.
+    """
+
+    name = "switch-top1"
+    drops_early = True
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        *,
+        capacity_factor: float = 1.25,
+        eps: float = 0.1,
+        **kwargs,
+    ):
+        kwargs.setdefault("z_loss_coef", 1e-3)
+        super().__init__(hidden_size, num_experts, **kwargs)
+        if capacity_factor <= 0:
+            raise ValueError("capacity_factor must be positive")
+        self.capacity_factor = capacity_factor
+        self.eps = eps
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        # probs (the clean softmax) is unused: selection and combine scores
+        # come from the softmax of the *noisy* logits.
+        logits = np.asarray(logits, dtype=np.float64)
+        s = logits.shape[0]
+        noise = 1.0 - self.eps + self._rng(step).random(logits.shape) * (2.0 * self.eps)
+        noisy = logits * noise
+        probs = _softmax(noisy)
+        top_scores, top_experts = _topk(probs, 1, axis=-1)
+
+        # Capacity-factor dropping, decided here: rank each expert's tokens
+        # by score (the same rule PFT construction applies) and drop the
+        # overflow beyond ceil(c * S / E).
+        capacity = max(1, math.ceil(self.capacity_factor * s / self.num_experts))
+        experts_flat = top_experts.reshape(-1)
+        scores_flat = top_scores.reshape(-1)
+        order = np.lexsort((-scores_flat, experts_flat))
+        sorted_experts = experts_flat[order]
+        counts = np.bincount(sorted_experts, minlength=self.num_experts)
+        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        rank_in_expert = np.arange(sorted_experts.size) - starts[sorted_experts]
+        drop_sorted = rank_in_expert >= capacity
+        drop_mask = np.zeros(experts_flat.size, dtype=bool)
+        drop_mask[order] = drop_sorted
+
+        return RoutingDecision.from_topk(
+            top_experts,
+            top_scores,
+            drop_mask.reshape(top_experts.shape),
+            num_experts=self.num_experts,
+            probs=probs,
+            aux_loss=self._aux_loss(probs, top_experts),
+            z_loss=self._scaled_z_loss(noisy),
+        )
+
+
+class NoisyTopKPolicy(_PolicyBase):
+    """Top-k over additively perturbed logits, with a router z-loss.
+
+    Shazeer-style exploration: per-(token, expert) Gaussian noise is added
+    to the logits before the softmax and top-k selection.  No policy-level
+    dropping — like the default router, all dropping is capacity-only.
+    """
+
+    name = "noisy-topk"
+    drops_early = False
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_experts: int,
+        top_k: int,
+        *,
+        noise_std: float = 1.0,
+        **kwargs,
+    ):
+        kwargs.setdefault("z_loss_coef", 1e-3)
+        super().__init__(hidden_size, num_experts, **kwargs)
+        if not (1 <= top_k <= num_experts):
+            raise ValueError(f"top_k={top_k} must be in [1, {num_experts}]")
+        self.top_k = top_k
+        self.noise_std = noise_std
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        # probs (the clean softmax) is unused: selection runs over the
+        # perturbed logits.
+        logits = np.asarray(logits, dtype=np.float64)
+        noisy = logits + self._rng(step).normal(0.0, self.noise_std, size=logits.shape)
+        probs = _softmax(noisy)
+        top_scores, top_experts = _topk(probs, self.top_k, axis=-1)
+        return RoutingDecision.from_topk(
+            top_experts,
+            top_scores,
+            np.zeros_like(top_experts, dtype=bool),
+            num_experts=self.num_experts,
+            probs=probs,
+            aux_loss=self._aux_loss(probs, top_experts),
+            z_loss=self._scaled_z_loss(noisy),
+        )
+
+
+class ExpertChoicePolicy(_PolicyBase):
+    """Expert-choice routing: experts pick tokens, load balance guaranteed.
+
+    The assignment budget is ``S * top_k`` (the same budget a token-choice
+    top-k router spends).  It is split across experts so capacities differ
+    by at most one token, and every expert takes its top-``capacity`` tokens
+    by router probability — so the per-expert load is *never* more than one
+    token apart and never exceeds ``ceil(S * top_k / E)``, no matter how
+    skewed the token distribution is.  No aux loss is needed: balance holds
+    by construction.
+    """
+
+    name = "expert-choice"
+    drops_early = False
+
+    def __init__(self, hidden_size: int, num_experts: int, top_k: int, **kwargs):
+        super().__init__(hidden_size, num_experts, **kwargs)
+        if top_k < 1:
+            raise ValueError(f"top_k={top_k} must be >= 1")
+        self.top_k = top_k
+
+    def decide(
+        self,
+        logits: np.ndarray,
+        step: int | None = None,
+        *,
+        probs: np.ndarray | None = None,
+    ) -> RoutingDecision:
+        logits = np.asarray(logits, dtype=np.float64)
+        s, e = logits.shape
+        if probs is None:
+            probs = _softmax(logits)
+
+        budget = s * self.top_k
+        caps = np.full(e, budget // e, dtype=np.int64)
+        caps[: budget % e] += 1
+        np.minimum(caps, s, out=caps)
+
+        # Each expert's token ranking (ties broken by token id: stable sort).
+        order = np.argsort(-probs, axis=0, kind="stable")  # [S, E]
+        max_cap = int(caps.max()) if caps.size else 0
+        picked = order[:max_cap, :].T  # [E, max_cap], expert-major
+        mask = np.arange(max_cap)[None, :] < caps[:, None]
+        token_ids = picked[mask].astype(np.int64)
+        expert_ids = np.repeat(np.arange(e, dtype=np.int64), caps)
+        scores = probs[token_ids, expert_ids]
+
+        return RoutingDecision(
+            num_tokens=s,
+            num_experts=e,
+            token_ids=token_ids,
+            expert_ids=expert_ids,
+            scores=scores,
+            dropped=np.zeros(token_ids.size, dtype=bool),
+            probs=probs,
+            aux_loss=0.0,  # balance holds by construction
+            z_loss=self._scaled_z_loss(logits),
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+ROUTER_POLICIES: dict[str, type] = {
+    SoftmaxTopKPolicy.name: SoftmaxTopKPolicy,
+    SwitchTop1Policy.name: SwitchTop1Policy,
+    NoisyTopKPolicy.name: NoisyTopKPolicy,
+    ExpertChoicePolicy.name: ExpertChoicePolicy,
+}
+
+ROUTER_POLICY_NAMES: tuple[str, ...] = tuple(ROUTER_POLICIES)
+
+
+def make_policy(
+    name: str,
+    hidden_size: int,
+    num_experts: int,
+    top_k: int,
+    *,
+    capacity_factor: float = 1.25,
+    weight: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    seed: int = 0,
+    **knobs,
+) -> RouterPolicy:
+    """Build a registered router policy by name.
+
+    ``weight`` / ``rng`` control the policy's own router projection (leave
+    both ``None`` for a selection-only policy driven by a gate's logits).
+    Policy-specific knobs (``score_threshold``, ``eps``, ``noise_std``,
+    ``aux_loss_coef``, ``z_loss_coef``) pass through ``**knobs``.
+    """
+    key = name.lower()
+    if key not in ROUTER_POLICIES:
+        raise KeyError(
+            f"unknown router policy {name!r}; available: {sorted(ROUTER_POLICIES)}"
+        )
+    common = dict(weight=weight, rng=rng, seed=seed, **knobs)
+    if key == SwitchTop1Policy.name:
+        return SwitchTop1Policy(
+            hidden_size, num_experts, capacity_factor=capacity_factor, **common
+        )
+    return ROUTER_POLICIES[key](hidden_size, num_experts, top_k, **common)
+
+
+# ----------------------------------------------------------------------
+# Workload generation shared by analysis / benchmarks / tests
+# ----------------------------------------------------------------------
+def skewed_router_tokens(
+    rng: np.random.Generator,
+    num_tokens: int,
+    weight: np.ndarray,
+    *,
+    skew: float = 1.2,
+    boost: float = 4.0,
+) -> np.ndarray:
+    """Hidden states whose router logits are Zipf-skewed across experts.
+
+    Each token is nudged toward one expert's weight column, with the target
+    expert drawn from a Zipf distribution of exponent ``skew`` (``skew=0``
+    is uniform).  Token-choice routers concentrate load on the popular
+    experts under this workload; expert-choice routing stays balanced.
+    """
+    hidden_size, num_experts = weight.shape
+    hidden = rng.normal(size=(num_tokens, hidden_size))
+    if boost == 0.0:
+        return hidden
+    ranks = np.arange(1, num_experts + 1, dtype=np.float64)
+    popularity = ranks ** -float(skew)
+    popularity /= popularity.sum()
+    targets = rng.choice(num_experts, size=num_tokens, p=popularity)
+    directions = weight[:, targets].T  # [S, H]
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return hidden + boost * directions / norms

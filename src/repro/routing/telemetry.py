@@ -1,0 +1,133 @@
+"""Load-balance telemetry for router policies.
+
+:class:`RoutingTelemetry` accumulates, step over step, what a router policy
+actually did to the cluster: the per-expert load histogram, the policy /
+capacity drop rates, the normalized load-balance entropy, and — when the
+step's :class:`~repro.routing.plan.DispatchPlan` is recorded too — the
+dispatched byte counts and redundancy of the dispatch path.  The simulated
+trainer records one entry per training step; the router-policy benchmark
+prints the accumulated summaries as a comparison table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def load_balance_entropy(load: np.ndarray) -> float:
+    """Normalized entropy of a per-expert load histogram.
+
+    1.0 means perfectly even load, 0.0 means every token went to a single
+    expert.  Defined as ``H(load / total) / ln(E)`` over the experts with
+    ``E > 1``; degenerate histograms (no load, one expert) return 1.0.
+    """
+    load = np.asarray(load, dtype=np.float64)
+    total = load.sum()
+    if total <= 0 or load.size <= 1:
+        return 1.0
+    p = load[load > 0] / total
+    entropy = float(-(p * np.log(p)).sum())
+    return entropy / float(np.log(load.size))
+
+
+class RoutingTelemetry:
+    """Accumulates per-step routing decisions (and optionally plans)."""
+
+    def __init__(self, num_experts: int):
+        if num_experts <= 0:
+            raise ValueError("num_experts must be positive")
+        self.num_experts = num_experts
+        self.steps = 0
+        self.load = np.zeros(num_experts, dtype=np.int64)
+        self.assignments = 0
+        self.policy_dropped = 0
+        self.capacity_dropped = 0
+        self.aux_loss_sum = 0.0
+        self.z_loss_sum = 0.0
+        self.stage1_bytes = 0.0
+        self.stage2_bytes = 0.0
+        self.sent_rows = 0
+        self.planned_assignments = 0
+
+    # ------------------------------------------------------------------
+    def record(self, decisions, *, pfts=None, plan=None, row_bytes: int = 0) -> None:
+        """Record one step: the per-rank decisions and (optionally) the plan.
+
+        ``decisions`` is a single :class:`~repro.routing.policies.RoutingDecision`
+        or a list of them (one per rank); ``pfts`` adds the capacity drops
+        PFT construction applied on top of the policy's own drops; ``plan``
+        adds dispatch-side telemetry with payload rows of ``row_bytes``.
+        """
+        if not isinstance(decisions, (list, tuple)):
+            decisions = [decisions]
+        for decision in decisions:
+            if decision.num_experts != self.num_experts:
+                raise ValueError(
+                    f"decision has {decision.num_experts} experts, telemetry "
+                    f"tracks {self.num_experts}"
+                )
+            self.load += decision.expert_load()
+            self.assignments += decision.num_assignments
+            self.policy_dropped += decision.num_dropped
+            self.aux_loss_sum += decision.aux_loss
+            self.z_loss_sum += decision.z_loss
+        if pfts is not None:
+            if not isinstance(pfts, (list, tuple)):
+                pfts = [pfts]
+            self.capacity_dropped += sum(int(p.dropped_assignments) for p in pfts)
+        if plan is not None:
+            stats = plan.stats_dict(row_bytes)
+            self.stage1_bytes += stats["stage1_bytes"]
+            self.stage2_bytes += stats["stage2_bytes"]
+            self.sent_rows += plan.sent_rows()
+            self.planned_assignments += plan.total_assignments
+        self.steps += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def dropped(self) -> int:
+        """All dropped assignments (policy-level + capacity-level)."""
+        return self.policy_dropped + self.capacity_dropped
+
+    @property
+    def drop_rate(self) -> float:
+        if self.assignments == 0:
+            return 0.0
+        return self.dropped / self.assignments
+
+    @property
+    def redundancy(self) -> float:
+        """Fraction of planned assignments served as intra-node replicas."""
+        if self.planned_assignments == 0:
+            return 0.0
+        return 1.0 - self.sent_rows / self.planned_assignments
+
+    def balance_entropy(self) -> float:
+        """Normalized entropy of the accumulated per-expert load."""
+        return load_balance_entropy(self.load)
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean per-expert load (1.0 = perfectly even)."""
+        mean = self.load.mean()
+        if mean <= 0:
+            return 1.0
+        return float(self.load.max() / mean)
+
+    def mean_aux_loss(self) -> float:
+        return self.aux_loss_sum / max(1, self.steps)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Headline numbers for reporting (one row of the comparison table)."""
+        return {
+            "steps": self.steps,
+            "assignments": self.assignments,
+            "balance_entropy": round(self.balance_entropy(), 4),
+            "load_imbalance": round(self.load_imbalance(), 3),
+            "drop_rate": round(self.drop_rate, 4),
+            "policy_dropped": self.policy_dropped,
+            "capacity_dropped": self.capacity_dropped,
+            "stage1_mb": round(self.stage1_bytes / 1e6, 3),
+            "stage2_mb": round(self.stage2_bytes / 1e6, 3),
+            "redundancy": round(self.redundancy, 4),
+        }

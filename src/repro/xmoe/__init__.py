@@ -23,7 +23,7 @@ Sub-modules:
   OOM detection and configuration sweeps.
 """
 
-from repro.xmoe.pft import PFT, build_pft, build_pft_reference
+from repro.xmoe.pft import PFT, build_pft, build_pft_flat, build_pft_reference
 from repro.xmoe.kernels import (
     gather_kernel,
     scatter_kernel,
@@ -44,12 +44,15 @@ from repro.xmoe.trainer import (
     SimulatedTrainer,
     TrainRunResult,
     dispatcher_for_config,
+    policy_for_config,
+    run_routing_validation,
     sweep_best_config,
 )
 
 __all__ = [
     "PFT",
     "build_pft",
+    "build_pft_flat",
     "build_pft_reference",
     "gather_kernel",
     "scatter_kernel",
@@ -75,5 +78,7 @@ __all__ = [
     "SimulatedTrainer",
     "TrainRunResult",
     "dispatcher_for_config",
+    "policy_for_config",
+    "run_routing_validation",
     "sweep_best_config",
 ]

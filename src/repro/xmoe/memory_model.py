@@ -22,7 +22,7 @@ trainability verdicts of Fig. 9 (which configurations fit in 64 GB HBM).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.baselines.deepspeed_moe import compute_capacity
 from repro.config.hardware import GPUSpec, MI250X_GCD

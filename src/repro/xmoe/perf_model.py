@@ -19,7 +19,7 @@ FLOP counting rather than from the constants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

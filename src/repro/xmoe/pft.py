@@ -28,7 +28,7 @@ change).  Both produce identical PFTs and the test suite checks that.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -160,10 +160,37 @@ def build_pft(
     on (expert, -weight) followed by a segmented ``arange`` — the same
     contiguous-axis trick the paper's transposed cumsum achieves.
     """
+    token_ids, expert_ids, weights = _flatten_assignments(top_experts, combine_weights)
+    return build_pft_flat(
+        max_token_count, token_ids, expert_ids, weights, num_experts, top_experts.shape[0]
+    )
+
+
+def build_pft_flat(
+    max_token_count: int,
+    token_ids: np.ndarray,
+    expert_ids: np.ndarray,
+    combine_weights: np.ndarray,
+    num_experts: int,
+    num_source_tokens: int,
+) -> PFT:
+    """PFT construction from per-assignment flat arrays.
+
+    The assignment-level entry point behind :func:`build_pft`, used directly
+    by router policies whose selection is not rectangular (expert-choice
+    routing assigns a variable number of experts per token — see
+    :meth:`repro.routing.policies.RoutingDecision.to_pft`).  Same capacity
+    rule, same ordering, bit-identical output for flattened ``[S, k]``
+    input.
+    """
     if max_token_count <= 0:
         raise ValueError("max_token_count must be positive")
-    token_ids, expert_ids, weights = _flatten_assignments(top_experts, combine_weights)
-    s = top_experts.shape[0]
+    token_ids = np.asarray(token_ids, dtype=np.int64)
+    expert_ids = np.asarray(expert_ids, dtype=np.int64)
+    weights = np.asarray(combine_weights, dtype=np.float64)
+    if not (token_ids.shape == expert_ids.shape == weights.shape) or token_ids.ndim != 1:
+        raise ValueError("assignment arrays must be 1-D and of equal length")
+    s = num_source_tokens
 
     if expert_ids.size == 0:
         keep = np.zeros(0, dtype=bool)

@@ -77,19 +77,27 @@ class PaddingFreeMoELayer:
         self.capacity_factor = capacity_factor
         self.last_stats: PaddingFreeStats | None = None
         self.last_pft: PFT | None = None
+        self._step = 0  # decorrelates router exploration noise across calls
 
     def parameters(self) -> list[Tensor]:
         return self.gate.parameters() + self.experts.parameters()
 
     def __call__(self, tokens: Tensor) -> tuple[Tensor, Tensor]:
         """Forward ``[S, H]`` tokens; returns ``(output, aux_loss)``."""
-        gate_out = self.gate(tokens)
+        gate_out = self.gate(tokens, step=self._step)
+        self._step += 1
         s, h = tokens.shape
         e = self.gate.num_experts
         k = self.gate.top_k
         capacity = compute_capacity(s, k, e, self.capacity_factor)
 
-        pft = build_pft(capacity, gate_out.top_experts, gate_out.top_scores, e)
+        if gate_out.decision is not None:
+            # Policy drops are filtered inside to_pft, then the standard
+            # capacity rule applies; for the default policy this path is
+            # bit-identical to build_pft on the [S, k] arrays.
+            pft = gate_out.decision.to_pft(capacity)
+        else:
+            pft = build_pft(capacity, gate_out.top_experts, gate_out.top_scores, e)
         self.last_pft = pft
 
         # Dispatch: gather routed tokens into an expert-grouped buffer.

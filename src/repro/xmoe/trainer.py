@@ -9,25 +9,30 @@ throughput, mirroring how the paper reports Fig. 9 / Fig. 10 / Table 5.
 size, ZeRO stage, and (for TED/X-MoE) the TP degree, then reporting the best
 configuration that fits in memory.
 
-:func:`dispatcher_for_config` bridges the analytic trainer and the
-functional substrate: given an expert-parallel process group and a
-:class:`~repro.config.parallel_config.ParallelConfig`, it returns the
-plan-based dispatch engine (flat or RBD, per ``parallel.use_rbd``) that a
-functional validation run of that configuration uses.
+:func:`dispatcher_for_config` and :func:`policy_for_config` bridge the
+analytic trainer and the functional substrate: the former returns the
+plan-based dispatch engine (flat or RBD, per ``parallel.use_rbd``), the
+latter the :class:`~repro.routing.policies.RouterPolicy` named by
+``model.router`` — and :func:`run_routing_validation` drives both over the
+simulated cluster for a few steps, recording a step-by-step
+:class:`~repro.routing.telemetry.RoutingTelemetry`.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.comm.process_group import ProcessGroup
+from repro.comm.process_group import CommWorld, ProcessGroup
 from repro.config.hardware import SystemSpec, frontier_system
 from repro.config.model_config import MoEModelConfig
 from repro.config.parallel_config import ParallelConfig, PlacementOrder, ZeroStage
 from repro.routing.engine import PlanDispatcher, make_dispatcher
+from repro.routing.policies import RouterPolicy, make_policy, skewed_router_tokens
+from repro.routing.telemetry import RoutingTelemetry
 from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
 from repro.xmoe.perf_model import MoEPerformanceModel
 
@@ -55,6 +60,100 @@ def dispatcher_for_config(
         expert_to_rank=expert_to_rank,
         seed=seed,
     )
+
+
+def policy_for_config(
+    model: MoEModelConfig,
+    parallel: ParallelConfig,
+    *,
+    weight: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    **knobs,
+) -> RouterPolicy:
+    """The router policy a training configuration calls for.
+
+    ``model.router`` names the policy, ``model`` supplies its dimensions and
+    capacity factor, and ``parallel.router_seed`` seeds its exploration
+    noise.  Pass ``weight`` to share an existing router projection, or
+    ``rng`` to control the initialization; with neither, the weight is
+    initialized from ``router_seed`` so the policy is immediately routable.
+    """
+    if weight is None and rng is None:
+        rng = np.random.default_rng(parallel.router_seed)
+    return make_policy(
+        model.router,
+        model.hidden_size,
+        model.num_experts,
+        model.top_k,
+        capacity_factor=model.capacity_factor,
+        weight=weight,
+        rng=rng,
+        seed=parallel.router_seed,
+        **knobs,
+    )
+
+
+def run_routing_validation(
+    router: str,
+    *,
+    num_ranks: int,
+    num_experts: int,
+    top_k: int,
+    hidden_size: int,
+    tokens_per_rank: int,
+    steps: int = 2,
+    capacity_factor: float = 1.25,
+    use_rbd: bool = False,
+    seed: int = 0,
+    skew: float = 0.0,
+    system: SystemSpec | None = None,
+) -> RoutingTelemetry:
+    """Drive one router policy through the full dispatch/combine pipeline.
+
+    Every step: each rank routes a fresh batch of (optionally Zipf-skewed)
+    hidden states with the shared policy, the decisions compile to PFTs
+    (policy drops filtered, then the standard capacity rule), the flat or
+    RBD planner builds the step's :class:`~repro.routing.plan.DispatchPlan`,
+    tokens dispatch and combine over the simulated cluster, and the
+    telemetry records the step.  All randomness derives from
+    ``(seed, step, rank)``, so a run is exactly reproducible.
+    """
+    world = CommWorld(num_ranks=num_ranks, system=system)
+    group = world.world_group()
+    policy = make_policy(
+        router,
+        hidden_size,
+        num_experts,
+        top_k,
+        capacity_factor=capacity_factor,
+        rng=np.random.default_rng(seed),
+        seed=seed,
+    )
+    dispatcher = make_dispatcher(group, num_experts, use_rbd=use_rbd, seed=seed)
+    capacity = max(
+        1, math.ceil(capacity_factor * tokens_per_rank * top_k / num_experts)
+    )
+    telemetry = RoutingTelemetry(num_experts)
+    row_bytes = hidden_size * 8  # float64 payload rows
+
+    for step in range(steps):
+        tokens, pfts, decisions = [], [], []
+        for rank in range(num_ranks):
+            data_rng = np.random.default_rng((seed, step, rank))
+            hidden = skewed_router_tokens(
+                data_rng, tokens_per_rank, policy.weight, skew=skew
+            )
+            decision = policy.route(hidden, step=step)
+            decisions.append(decision)
+            pfts.append(decision.to_pft(capacity))
+            tokens.append(hidden)
+        plan = dispatcher.plan(pfts, step=step)
+        expert_inputs, _ = dispatcher.dispatch(tokens, pfts, plan=plan)
+        dispatcher.combine(
+            [buf.copy() for buf in expert_inputs], plan, [tokens_per_rank] * num_ranks
+        )
+        telemetry.record(decisions, pfts=pfts, plan=plan, row_bytes=row_bytes)
+    return telemetry
 
 
 @dataclass
@@ -124,6 +223,37 @@ class SimulatedTrainer:
             iteration_seconds=seconds,
             tflops_per_gpu=tflops,
             aggregated_pflops=tflops * self.parallel.world_size / 1e3,
+        )
+
+    def validate_routing(
+        self,
+        *,
+        steps: int = 2,
+        tokens_per_rank: int = 64,
+        hidden_size: int | None = None,
+        skew: float = 0.0,
+    ) -> RoutingTelemetry:
+        """Functionally validate this configuration's routing regime.
+
+        Runs ``model.router`` over the configuration's EP group for a few
+        steps (dispatch + combine over the simulated cluster, flat or RBD
+        per ``parallel.use_rbd``) and returns the per-step
+        :class:`~repro.routing.telemetry.RoutingTelemetry`.  ``hidden_size``
+        defaults to the model's hidden size; pass a smaller value for a
+        cheap smoke run.
+        """
+        return run_routing_validation(
+            self.model.router,
+            num_ranks=self.parallel.ep_size,
+            num_experts=self.model.num_experts,
+            top_k=self.model.top_k,
+            hidden_size=hidden_size or self.model.hidden_size,
+            tokens_per_rank=tokens_per_rank,
+            steps=steps,
+            capacity_factor=self.model.capacity_factor,
+            use_rbd=bool(self.parallel.use_rbd),
+            seed=self.parallel.router_seed,
+            skew=skew,
         )
 
 

@@ -1,6 +1,5 @@
 """Tests for the analysis modules: redundancy, trade-off, sensitivity, checkpointing."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

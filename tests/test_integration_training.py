@@ -19,7 +19,6 @@ def train(model, dataset, steps, lr=3e-3, seed=0):
     """Train for a few steps; returns the per-step LM losses."""
     opt = Adam(model.parameters(), lr=lr)
     losses = []
-    data_rng = np.random.default_rng(seed)
     for _ in range(steps):
         seq = dataset.sample_sequence()
         opt.zero_grad()

@@ -5,7 +5,6 @@ import pytest
 
 from repro.comm import CommWorld
 from repro.routing import (
-    DispatchPlan,
     Dispatcher,
     FlatPlanner,
     PlanDispatcher,

@@ -1,6 +1,5 @@
 """Tests for the memory model: Table 2, Table 4, Fig. 3, trainability."""
 
-import numpy as np
 import pytest
 
 from repro.config import (

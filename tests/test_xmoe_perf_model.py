@@ -1,6 +1,5 @@
 """Tests for the performance model: Figs. 9-12, 14, 20 shapes."""
 
-import numpy as np
 import pytest
 
 from repro.config import ParallelConfig, frontier_system, paper_config
