@@ -1,21 +1,37 @@
-"""Redundancy-Bypassing Dispatch demo on the simulated Frontier cluster.
+"""Dispatch-strategy demo on the simulated Frontier cluster.
 
 Builds a 16-rank (2-node) expert-parallel group, routes real token buffers
-through the flat uneven all-to-all and through RBD's two-stage dispatch —
-both are planners behind the same routing-plan engine
+through the flat uneven all-to-all and through the selected alternative
+strategy — all planners behind the same routing-plan engine
 (:mod:`repro.routing`) — and shows (a) the outputs are bit-identical and
-(b) RBD moves far fewer bytes over the slow inter-node links.
+(b) the alternative moves far fewer bytes over the slow inter-node links.
 
-Run:  python examples/rbd_dispatch_demo.py
+Flags
+-----
+``--dispatch {rbd,hier}``
+    The strategy compared against the flat oracle (mirrors
+    ``ParallelConfig.dispatch``).  ``rbd`` is the paper's two-stage
+    redundancy-bypassing dispatch (random pilots, replicas rebuilt on the
+    destination node); ``hier`` is the two-hop hierarchical dispatch
+    (intra-node gather onto a per-node leader, one leader-to-leader
+    inter-node exchange, intra-node scatter).
+``--seed N``
+    Seed for the token/routing workload and RBD's pilot selection
+    (default 0).
+
+Run:  python examples/rbd_dispatch_demo.py [--dispatch rbd|hier] [--seed 0]
 """
+
+import argparse
 
 import numpy as np
 
 from repro.cluster.topology import LinkTier
 from repro.comm import CommWorld
 from repro.moe import TopKGate
+from repro.routing import DISPATCH_OPS, make_dispatcher
 from repro.tensor import Tensor
-from repro.xmoe import DistributedMoEDispatcher, RBDDispatcher, build_pft
+from repro.xmoe import build_pft
 
 
 NUM_RANKS = 16
@@ -54,41 +70,55 @@ def tier_bytes(world, ops):
     return inter, intra
 
 
-def run(dispatcher_cls, label, tokens, pfts, weights, **kwargs):
+def run(kind, tokens, pfts, weights, seed=0):
     world = CommWorld(num_ranks=NUM_RANKS)
     group = world.world_group()
-    dispatcher = dispatcher_cls(group, NUM_EXPERTS, **kwargs)
-    inputs, state = dispatcher.dispatch(tokens, pfts)
+    dispatcher = make_dispatcher(group, NUM_EXPERTS, kind=kind, seed=seed)
+    inputs, plan = dispatcher.dispatch(tokens, pfts)
     w1, w2 = weights
     per_w1 = [w1[dispatcher.experts_on_rank(r)] for r in range(NUM_RANKS)]
     per_w2 = [w2[dispatcher.experts_on_rank(r)] for r in range(NUM_RANKS)]
-    outputs = dispatcher.run_experts(inputs, state, per_w1, per_w2)
-    combined = dispatcher.combine(outputs, state, [TOKENS_PER_RANK] * NUM_RANKS)
-    ops = {"dispatch_a2a", "rbd_s1_a2a", "rbd_s2_a2a"}
-    inter, intra = tier_bytes(world, ops)
-    print(f"{label:>12s}: inter-node {inter / 2**20:7.2f} MiB | "
+    outputs = dispatcher.run_experts(inputs, plan, per_w1, per_w2)
+    combined = dispatcher.combine(outputs, plan, [TOKENS_PER_RANK] * NUM_RANKS)
+    inter, intra = tier_bytes(world, set(DISPATCH_OPS[kind]))
+    print(f"{kind:>12s}: inter-node {inter / 2**20:7.2f} MiB | "
           f"intra-node {intra / 2**20:7.2f} MiB")
-    return combined, dispatcher
+    return combined, plan
 
 
 def main():
-    print("=== Redundancy-Bypassing Dispatch on 2 Frontier nodes (16 GCDs) ===")
-    print(f"{NUM_EXPERTS} experts, top-{TOP_K}, {TOKENS_PER_RANK} tokens per rank\n")
-    tokens, pfts, weights = build_inputs()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dispatch",
+        choices=("rbd", "hier"),
+        default="rbd",
+        help="dispatch strategy compared against the flat oracle",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload/pilot seed")
+    args = parser.parse_args()
 
-    flat_out, _ = run(DistributedMoEDispatcher, "flat a2a", tokens, pfts, weights)
-    rbd_out, rbd = run(RBDDispatcher, "RBD", tokens, pfts, weights, seed=7)
+    print("=== Dispatch strategies on 2 Frontier nodes (16 GCDs) ===")
+    print(f"{NUM_EXPERTS} experts, top-{TOP_K}, {TOKENS_PER_RANK} tokens per rank\n")
+    tokens, pfts, weights = build_inputs(seed=args.seed)
+
+    flat_out, _ = run("flat", tokens, pfts, weights)
+    alt_out, plan = run(args.dispatch, tokens, pfts, weights, seed=args.seed + 7)
 
     bit_identical = all(
-        np.array_equal(flat_out[r], rbd_out[r]) for r in range(NUM_RANKS)
+        np.array_equal(flat_out[r], alt_out[r]) for r in range(NUM_RANKS)
     )
-    print(f"\nmeasured redundancy rate : {rbd.last_stats['redundancy_rate']:.1%}")
-    print(f"pilot tokens             : {int(rbd.last_stats['pilots'])}")
-    print(f"local replica tokens     : {int(rbd.last_stats['replicas'])}")
+    print(f"\nmeasured redundancy rate : {plan.redundancy:.1%}")
+    print(f"rows sent in stage 1     : {plan.sent_rows()}")
+    print(f"locally served rows      : {plan.num_replicas}")
     print(f"outputs bit-identical    : {bit_identical}")
-    print("\nRBD sends only one pilot copy of each token per destination node")
-    print("across the slow inter-node links and rebuilds the replicas locally.")
-    print("Both paths fold the combine sums in the same order, so the expert")
+    if args.dispatch == "rbd":
+        print("\nRBD sends only one pilot copy of each token per destination node")
+        print("across the slow inter-node links and rebuilds the replicas locally.")
+    else:
+        print("\nHierarchical dispatch gathers tokens onto per-node leaders, sends")
+        print("one deduplicated copy per (token, node) in a single aggregated")
+        print("leader-to-leader exchange, then scatters to the expert ranks.")
+    print("All planners fold the combine sums in the same order, so the expert")
     print("inputs and the final outputs are exactly — not just nearly — equal.")
 
 

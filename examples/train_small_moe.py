@@ -3,15 +3,26 @@
 Trains the same tiny MoE transformer twice on the same synthetic data:
 once with the DeepSpeed-MoE style zero-padded pipeline (negative-score
 token dropping) and once with X-MoE's padding-free pipeline (capacity-only
-dropping), then prints the two loss curves side by side.
+dropping), then prints the two loss curves side by side and validates the
+trained router's dispatch traffic over the simulated cluster.
 
-``--router`` selects the routing regime: the default ``softmax-topk``
-reproduces the paper's comparison (the two pipelines differ only by drop
-policy), while ``switch-top1`` / ``noisy-topk`` / ``expert-choice`` run
-both pipelines under that policy instead — routing is an experimental
-axis, not a constant (see ``repro.routing.policies``).
+Flags
+-----
+``--steps N``
+    Training steps for both pipelines (default 60).
+``--router {softmax-topk,switch-top1,noisy-topk,expert-choice}``
+    The routing regime: the default ``softmax-topk`` reproduces the
+    paper's comparison (the two pipelines differ only by drop policy),
+    while the others run both pipelines under that policy instead —
+    routing is an experimental axis, not a constant (see
+    ``repro.routing.policies``).
+``--dispatch {flat,rbd,hier}``
+    The dispatch strategy used by the post-training routing validation
+    (mirrors ``ParallelConfig.dispatch``): flat uneven all-to-all,
+    redundancy-bypassing dispatch, or hierarchical two-hop dispatch.
 
 Run:  python examples/train_small_moe.py [--steps 60] [--router softmax-topk]
+      [--dispatch flat]
 """
 
 import argparse
@@ -25,9 +36,10 @@ from repro.moe import (
     SyntheticLMDataset,
     TransformerConfig,
 )
-from repro.routing import ROUTER_POLICY_NAMES
+from repro.routing import DISPATCH_KINDS, ROUTER_POLICY_NAMES
 from repro.tensor import Adam
 from repro.xmoe import PaddingFreeMoELayer
+from repro.xmoe.trainer import run_routing_validation
 
 
 def make_config(drop_policy: DropPolicy, router: str) -> TransformerConfig:
@@ -67,6 +79,12 @@ def main():
         choices=sorted(ROUTER_POLICY_NAMES),
         default="softmax-topk",
         help="router policy both pipelines train with",
+    )
+    parser.add_argument(
+        "--dispatch",
+        choices=DISPATCH_KINDS,
+        default="flat",
+        help="dispatch strategy for the post-training routing validation",
     )
     args = parser.parse_args()
 
@@ -112,6 +130,24 @@ def main():
         print(f"\nBoth pipelines route with {args.router!r}; differences come")
         print("from the padded pipeline's GShard capacity rule on top of the")
         print("policy's own dropping.")
+
+    # Validate the routing regime's dispatch traffic over a simulated
+    # 2-node EP group with the selected strategy (the `--dispatch` axis).
+    telemetry = run_routing_validation(
+        args.router,
+        num_ranks=16,
+        num_experts=16,
+        top_k=2,
+        hidden_size=32,
+        tokens_per_rank=64,
+        steps=2,
+        dispatch=args.dispatch,
+    )
+    summary = telemetry.summary()
+    print(f"\nrouting validation ({args.dispatch} dispatch, 16 ranks / 2 nodes):")
+    print(f"  inter-node dispatch MB : {summary['inter_node_mb']:.3f}")
+    print(f"  intra-node dispatch MB : {summary['intra_node_mb']:.3f}")
+    print(f"  balance entropy        : {summary['balance_entropy']:.4f}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Doc-sync check: the docs must keep up with the code.
+
+Two invariants, both enforced in CI (and by ``tests/test_doc_sync.py``):
+
+1. **Experiment index coverage** — every ``benchmarks/test_*.py`` file must
+   appear in DESIGN.md's experiment index, so a new benchmark cannot land
+   without documenting which figure/table (or repo-own experiment) it
+   regenerates.
+2. **Verify-command agreement** — the tier-1 verify command in README.md
+   must be exactly the one ROADMAP.md declares, so the README can never
+   advertise a drifted (weaker or broken) check.
+
+Run:  python scripts/check_doc_sync.py
+Exits non-zero with a per-problem message when out of sync.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def check_experiment_index(errors: list[str]) -> None:
+    """Every benchmarks/test_*.py must be referenced by DESIGN.md."""
+    design = (REPO / "DESIGN.md").read_text()
+    referenced = set(re.findall(r"benchmarks/test_\w+\.py", design))
+    on_disk = {
+        f"benchmarks/{p.name}" for p in (REPO / "benchmarks").glob("test_*.py")
+    }
+    for missing in sorted(on_disk - referenced):
+        errors.append(
+            f"{missing} is missing from DESIGN.md's experiment index — add a "
+            "row saying what it regenerates"
+        )
+    for stale in sorted(referenced - on_disk):
+        errors.append(
+            f"DESIGN.md references {stale}, which does not exist — remove or "
+            "fix the experiment index row"
+        )
+
+
+def tier1_command() -> str | None:
+    """The verify command ROADMAP.md declares (first backticked tier-1 line)."""
+    roadmap = (REPO / "ROADMAP.md").read_text()
+    match = re.search(r"\*\*Tier-1 verify:\*\*\s*`([^`]+)`", roadmap)
+    return match.group(1) if match else None
+
+
+def check_verify_command(errors: list[str]) -> None:
+    """README's verify command must match ROADMAP's tier-1 line exactly."""
+    command = tier1_command()
+    if command is None:
+        errors.append("ROADMAP.md has no '**Tier-1 verify:** `...`' line")
+        return
+    readme_path = REPO / "README.md"
+    if not readme_path.exists():
+        errors.append("README.md does not exist")
+        return
+    if command not in readme_path.read_text():
+        errors.append(
+            f"README.md does not contain ROADMAP's tier-1 verify command "
+            f"({command!r}) — the advertised check has drifted"
+        )
+
+
+def main() -> int:
+    """Run every doc-sync check; return the number of problems found."""
+    errors: list[str] = []
+    check_experiment_index(errors)
+    check_verify_command(errors)
+    for problem in errors:
+        print(f"doc-sync: {problem}", file=sys.stderr)
+    if not errors:
+        print("doc-sync: DESIGN.md experiment index and README verify command OK")
+    return len(errors)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

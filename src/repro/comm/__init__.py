@@ -18,6 +18,7 @@ from repro.comm.cost_model import (
     alltoall_traffic_matrix,
     uniform_alltoall_time,
     hierarchical_alltoall_time,
+    hierarchical_dispatch_time,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "alltoall_traffic_matrix",
     "uniform_alltoall_time",
     "hierarchical_alltoall_time",
+    "hierarchical_dispatch_time",
 ]

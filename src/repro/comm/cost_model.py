@@ -103,3 +103,38 @@ def hierarchical_alltoall_time(
             intra_traffic[i, peers] = intra_node_bytes_per_rank / peers.size
     intra_est = network.alltoall_time(intra_traffic, ranks)
     return inter_est, intra_est
+
+
+def hierarchical_dispatch_time(
+    network: NetworkModel,
+    ranks: np.ndarray,
+    *,
+    inter_node_bytes_per_rank: float,
+    gather_bytes_per_rank: float,
+    scatter_bytes_per_rank: float,
+    congestion: bool = True,
+) -> tuple[TransferEstimate, TransferEstimate, TransferEstimate]:
+    """Cost of the two-hop hierarchical dispatch (gather → exchange → scatter).
+
+    Hop A moves ``gather_bytes_per_rank`` from each rank onto its node
+    leader over the intra-node tier, hop B moves
+    ``inter_node_bytes_per_rank`` per rank across node boundaries (modelled
+    bandwidth-optimally: the aggregated leader exchange pipelines over the
+    node's NICs, so the payload is spread rather than serialized through one
+    rank), and hop C moves ``scatter_bytes_per_rank`` from the leader to the
+    expert-owning ranks.  Returns ``(gather, inter, scatter)`` estimates;
+    the hops are dependent, so the total dispatch time is their sum.  Built
+    on :func:`hierarchical_alltoall_time`, which prices one inter-node and
+    one intra-node stage.
+    """
+    inter_est, gather_est = hierarchical_alltoall_time(
+        network,
+        ranks,
+        inter_node_bytes_per_rank,
+        gather_bytes_per_rank,
+        congestion=congestion,
+    )
+    _, scatter_est = hierarchical_alltoall_time(
+        network, ranks, 0.0, scatter_bytes_per_rank, congestion=False
+    )
+    return gather_est, inter_est, scatter_est

@@ -30,6 +30,10 @@ class ZeroStage(enum.IntEnum):
     PARAMS = 3  # + parameters partitioned
 
 
+#: recognized values of the MoE dispatch axis.
+DISPATCH_KINDS = ("flat", "rbd", "hier")
+
+
 class PlacementOrder(enum.Enum):
     """Which parallel dimension is laid out contiguously within a node.
 
@@ -61,7 +65,13 @@ class ParallelConfig:
     use_ssmb:
         Enable X-MoE's sequence-sharded MoE blocks.
     use_rbd:
-        Enable redundancy-bypassing dispatch.
+        Enable redundancy-bypassing dispatch (legacy boolean; equivalent to
+        ``dispatch="rbd"``).
+    dispatch:
+        The MoE dispatch strategy: ``"flat"`` (single uneven all-to-all),
+        ``"rbd"`` (two-stage redundancy-bypassing dispatch), or ``"hier"``
+        (two-hop hierarchical dispatch through per-node leaders).  See
+        :attr:`dispatch_kind` for how this reconciles with ``use_rbd``.
     placement:
         EP-first or DP-first rank placement.
     micro_batch_size:
@@ -83,6 +93,7 @@ class ParallelConfig:
     zero_stage: ZeroStage = ZeroStage.OPTIMIZER
     use_ssmb: bool = False
     use_rbd: bool = False
+    dispatch: str = "flat"
     placement: PlacementOrder = PlacementOrder.DP_FIRST
     micro_batch_size: int = 1
     global_batch_size: int = 1024
@@ -109,8 +120,28 @@ class ParallelConfig:
                 f"global_batch_size={self.global_batch_size} must be divisible by "
                 f"dp_size={self.dp_size}"
             )
+        if self.dispatch not in DISPATCH_KINDS:
+            raise ValueError(
+                f"dispatch={self.dispatch!r} must be one of {DISPATCH_KINDS}"
+            )
+        if self.use_rbd and self.dispatch == "hier":
+            raise ValueError(
+                "use_rbd=True conflicts with dispatch='hier'; pick one strategy"
+            )
 
     # ------------------------------------------------------------------
+    @property
+    def dispatch_kind(self) -> str:
+        """The effective dispatch strategy, reconciling ``use_rbd``.
+
+        ``dispatch`` wins when set to a non-default value; otherwise the
+        legacy ``use_rbd=True`` still selects ``"rbd"`` so existing
+        configurations keep their behaviour.
+        """
+        if self.dispatch != "flat":
+            return self.dispatch
+        return "rbd" if self.use_rbd else "flat"
+
     @property
     def dp_size(self) -> int:
         """Data-parallel group size for the dense blocks (= world / TP)."""
@@ -152,6 +183,6 @@ class ParallelConfig:
             f"world={self.world_size} dp={self.dp_size} ep={self.ep_size} "
             f"tp={self.tp_size} zero={int(self.zero_stage)} "
             f"ssmb={'on' if self.use_ssmb else 'off'} "
-            f"rbd={'on' if self.use_rbd else 'off'} "
+            f"dispatch={self.dispatch_kind} "
             f"placement={self.placement.value}"
         )

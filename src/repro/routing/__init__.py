@@ -41,8 +41,20 @@ policy (``DropPolicy`` maps onto the default policy's score-threshold knob).
 """
 
 from repro.routing.plan import DispatchPlan
-from repro.routing.planner import FlatPlanner, RBDPlan, RBDPlanner, select_pilots
-from repro.routing.engine import Dispatcher, PlanDispatcher, make_dispatcher
+from repro.routing.planner import (
+    FlatPlanner,
+    HierarchicalPlanner,
+    RBDPlan,
+    RBDPlanner,
+    select_pilots,
+)
+from repro.routing.engine import (
+    DISPATCH_KINDS,
+    DISPATCH_OPS,
+    Dispatcher,
+    PlanDispatcher,
+    make_dispatcher,
+)
 from repro.routing.policies import (
     ROUTER_POLICIES,
     ROUTER_POLICY_NAMES,
@@ -58,10 +70,13 @@ from repro.routing.policies import (
 from repro.routing.telemetry import RoutingTelemetry, load_balance_entropy
 
 __all__ = [
+    "DISPATCH_KINDS",
+    "DISPATCH_OPS",
     "DispatchPlan",
     "Dispatcher",
     "ExpertChoicePolicy",
     "FlatPlanner",
+    "HierarchicalPlanner",
     "NoisyTopKPolicy",
     "PlanDispatcher",
     "RBDPlan",

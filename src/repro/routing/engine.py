@@ -1,4 +1,4 @@
-"""Plan execution: one thin engine for flat and RBD dispatch.
+"""Plan execution: one thin engine for flat, RBD, and hierarchical dispatch.
 
 :class:`PlanDispatcher` implements the :class:`Dispatcher` protocol —
 ``plan → dispatch → run_experts → combine`` — by *interpreting* a
@@ -7,16 +7,19 @@ slice plus a planned uneven all-to-all
 (:meth:`~repro.comm.process_group.ProcessGroup.alltoallv_planned`), so the
 per-op byte and tier accounting is computed from the plan's splits rather
 than re-derived from the payloads, and the hot path contains no per-row
-Python loops.
+Python loops.  Hierarchical plans route through intra-node subgroups for
+their gather/scatter hops and through the full group for the
+leader-to-leader exchange, so every hop's bytes land on the right
+:class:`~repro.cluster.topology.LinkTier` in ``CommStats.bytes_by_tier``.
 
 Bit-identical combine
 ---------------------
 The combine stage folds weighted expert outputs into per-(token, node)
-partial sums and then folds the partials in (token, node) order.  Both the
-flat and the RBD plan drive the *same* fold orders (the plan's
-``merge_perm`` / ``combine_perm`` encode the (slot, expert) ordering), so
-the redundancy-bypassing path returns outputs exactly equal to the flat
-oracle — not merely close.
+partial sums and then folds the partials in (token, node) order.  Every
+plan kind drives the *same* fold orders (``merge_perm`` / ``combine_perm``
+/ ``hM_fold_perm`` encode the (slot, expert) ordering), so the RBD and
+hierarchical paths return outputs exactly equal to the flat oracle — not
+merely close.
 """
 
 from __future__ import annotations
@@ -26,8 +29,14 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from repro.comm.process_group import ProcessGroup
+from repro.config.parallel_config import DISPATCH_KINDS
 from repro.routing.plan import DispatchPlan
-from repro.routing.planner import FlatPlanner, RBDPlanner, _PlannerBase
+from repro.routing.planner import (
+    FlatPlanner,
+    HierarchicalPlanner,
+    RBDPlanner,
+    _PlannerBase,
+)
 
 
 #: op names recorded in CommStats per plan kind:
@@ -37,12 +46,25 @@ _OP_NAMES = {
     "rbd": ("rbd_s1_a2a", "rbd_s2_a2a", "rbd_c1_a2a", "rbd_c2_a2a"),
 }
 
+#: op names for the hierarchical hops (dispatch gather/inter/scatter and
+#: their combine-side reversals).
+HIER_DISPATCH_OPS = ("hier_gather_a2a", "hier_inter_a2a", "hier_scatter_a2a")
+HIER_COMBINE_OPS = ("hier_c_gather_a2a", "hier_c_inter_a2a", "hier_c_scatter_a2a")
+
+#: dispatch-side op names per plan kind (what the tier-byte benchmarks read).
+DISPATCH_OPS = {
+    "flat": ("dispatch_a2a",),
+    "rbd": ("rbd_s1_a2a", "rbd_s2_a2a"),
+    "hier": HIER_DISPATCH_OPS,
+}
+
 
 @runtime_checkable
 class Dispatcher(Protocol):
-    """The dispatch abstraction shared by the flat and RBD paths."""
+    """The dispatch abstraction shared by the flat, RBD, and hier paths."""
 
     def plan(self, per_rank_pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Compile per-rank PFTs into a :class:`DispatchPlan`."""
         ...
 
     def dispatch(
@@ -53,6 +75,7 @@ class Dispatcher(Protocol):
         plan: DispatchPlan | None = None,
         step: int | None = None,
     ) -> tuple[list[np.ndarray], DispatchPlan]:
+        """Move token rows to their expert-hosting ranks; return (inputs, plan)."""
         ...
 
     def run_experts(
@@ -64,6 +87,7 @@ class Dispatcher(Protocol):
         *,
         activation: str = "silu",
     ) -> list[np.ndarray]:
+        """Apply each rank's local experts to its grouped input buffer."""
         ...
 
     def combine(
@@ -72,6 +96,7 @@ class Dispatcher(Protocol):
         plan: DispatchPlan,
         num_tokens_per_rank: list[int],
     ) -> list[np.ndarray]:
+        """Return weighted expert outputs to their source token positions."""
         ...
 
 
@@ -86,17 +111,21 @@ class PlanDispatcher:
     # -- conveniences ---------------------------------------------------
     @property
     def num_experts(self) -> int:
+        """Total experts across the group (from the planner)."""
         return self.planner.num_experts
 
     @property
     def expert_to_rank(self) -> np.ndarray:
+        """Group-local hosting rank per expert id."""
         return self.planner.expert_to_rank
 
     @property
     def rank_to_node(self) -> np.ndarray:
+        """Node id per group-local rank."""
         return self.planner.rank_to_node
 
     def experts_on_rank(self, local_rank: int) -> np.ndarray:
+        """Global ids of the experts hosted by a group-local rank."""
         return self.planner.experts_on_rank(local_rank)
 
     def node_groups(self) -> list[ProcessGroup]:
@@ -126,6 +155,9 @@ class PlanDispatcher:
         if plan is None:
             plan = self.plan(per_rank_pfts, step=step)
         hidden = per_rank_tokens[0].shape[1]
+        if plan.kind == "hier":
+            arrival = self._dispatch_hier(per_rank_tokens, plan)
+            return self._finish_dispatch(arrival, plan, hidden), plan
         s1_op, s2_op, _, _ = _OP_NAMES[plan.kind]
 
         # ---- stage 1: pilots travel to their expert's rank ------------
@@ -161,15 +193,71 @@ class PlanDispatcher:
                 for d in range(size)
             ]
 
-        expert_inputs = [arrival[d][plan.sort_order[d]] for d in range(size)]
+        return self._finish_dispatch(arrival, plan, hidden), plan
+
+    def _finish_dispatch(
+        self, arrival: list[np.ndarray], plan: DispatchPlan, hidden: int
+    ) -> list[np.ndarray]:
+        """Canonically sort the arrival buffers and guard their shapes."""
+        expert_inputs = [arrival[d][plan.sort_order[d]] for d in range(self.group.size)]
         # Guard: every destination's buffer must match its arrival table.
-        for d in range(size):
+        for d in range(self.group.size):
             if expert_inputs[d].shape != (plan.arrival_src[d].size, hidden):
                 raise ValueError(
                     f"rank {d}: arrival buffer {expert_inputs[d].shape} does not "
                     f"match plan ({plan.arrival_src[d].size}, {hidden})"
                 )
-        return expert_inputs, plan
+        return expert_inputs
+
+    # ------------------------------------------------------------------
+    def _node_alltoallv(
+        self,
+        send: list[np.ndarray],
+        send_splits: list[np.ndarray],
+        recv_splits: list[np.ndarray],
+        plan: DispatchPlan,
+        op_name: str,
+    ) -> list[np.ndarray]:
+        """One intra-node alltoallv per node subgroup, results in rank order."""
+        out: list[np.ndarray] = [None] * self.group.size  # type: ignore[list-item]
+        for members, ng in zip(plan.node_members, self.node_groups()):
+            recvd, _ = ng.alltoallv_planned(
+                [send[m] for m in members],
+                [send_splits[m] for m in members],
+                [recv_splits[m] for m in members],
+                op_name=op_name,
+            )
+            for j, m in enumerate(members):
+                out[m] = recvd[j]
+        return out
+
+    def _dispatch_hier(
+        self, per_rank_tokens: list[np.ndarray], plan: DispatchPlan
+    ) -> list[np.ndarray]:
+        """Run the two-hop dispatch: gather → leader exchange → scatter."""
+        size = self.group.size
+        gather_op, inter_op, scatter_op = HIER_DISPATCH_OPS
+
+        # ---- hop A: members gather deduplicated rows onto the leader --
+        hA_send = [
+            per_rank_tokens[r][plan.pfts[r].token_ids[plan.send_rows[r]]]
+            for r in range(size)
+        ]
+        leader_buf = self._node_alltoallv(
+            hA_send, plan.hA_send_splits, plan.hA_recv_splits, plan, gather_op
+        )
+
+        # ---- hop B: one leader-to-leader inter-node exchange ----------
+        hB_send = [leader_buf[r][plan.hB_perm[r]] for r in range(size)]
+        hB_recv, _ = self.group.alltoallv_planned(
+            hB_send, plan.send_splits, plan.recv_splits, op_name=inter_op
+        )
+
+        # ---- hop C: dest leader scatters one row per assignment -------
+        hC_send = [hB_recv[r][plan.hC_gather[r]] for r in range(size)]
+        return self._node_alltoallv(
+            hC_send, plan.hC_send_splits, plan.hC_recv_splits, plan, scatter_op
+        )
 
     # ------------------------------------------------------------------
     def run_experts(
@@ -206,7 +294,6 @@ class PlanDispatcher:
         size = self.group.size
         hidden = per_rank_expert_outputs[0].shape[1]
         dtype = per_rank_expert_outputs[0].dtype
-        _, _, c1_op, c2_op = _OP_NAMES[plan.kind]
 
         # Undo the by-expert sort and apply the combine weights (the paper
         # scales before merging so replicas can sum onto their pilot).
@@ -215,6 +302,10 @@ class PlanDispatcher:
             un = np.empty_like(per_rank_expert_outputs[d])
             un[plan.sort_order[d]] = per_rank_expert_outputs[d]
             weighted.append(un * plan.arrival_weight[d][:, None])
+
+        if plan.kind == "hier":
+            return self._combine_hier(weighted, plan, num_tokens_per_rank, hidden, dtype)
+        _, _, c1_op, c2_op = _OP_NAMES[plan.kind]
 
         # ---- stage C1: replica outputs merge onto their pilot ----------
         if c1_op is None:
@@ -266,20 +357,83 @@ class PlanDispatcher:
             outputs.append(out)
         return outputs
 
+    def _combine_hier(
+        self,
+        weighted: list[np.ndarray],
+        plan: DispatchPlan,
+        num_tokens_per_rank: list[int],
+        hidden: int,
+        dtype,
+    ) -> list[np.ndarray]:
+        """Reverse the two hops: scatter-back → leader exchange → gather-back."""
+        size = self.group.size
+        gather_op, inter_op, scatter_op = HIER_COMBINE_OPS
+
+        # ---- reverse hop C: members return weighted rows to the leader,
+        # which folds them onto their (token, node) group's hop-B slot in
+        # ascending expert order — the flat oracle's association order.
+        rev_c = self._node_alltoallv(
+            weighted, plan.hC_recv_splits, plan.hC_send_splits, plan, gather_op
+        )
+        merged: list[np.ndarray] = []
+        for r in range(size):
+            fold = np.zeros((int(plan.recv_splits[r].sum()), hidden), dtype=dtype)
+            np.add.at(fold, plan.hM_fold_slot[r], rev_c[r][plan.hM_fold_perm[r]])
+            merged.append(fold)
+
+        # ---- reverse hop B: leaders exchange the per-group partials back.
+        rev_b, _ = self.group.alltoallv_planned(
+            merged, plan.recv_splits, plan.send_splits, op_name=inter_op
+        )
+        back: list[np.ndarray] = []
+        for r in range(size):
+            buf = np.empty((plan.hB_perm[r].size, hidden), dtype=dtype)
+            buf[plan.hB_perm[r]] = rev_b[r]
+            back.append(buf)
+
+        # ---- reverse hop A: the leader returns each member's rows.
+        returned = self._node_alltoallv(
+            back, plan.hA_recv_splits, plan.hA_send_splits, plan, scatter_op
+        )
+
+        # ---- source-side fold: one row per partial group (pure reorder),
+        # then the (token, node)-ordered token fold shared with flat/RBD.
+        outputs: list[np.ndarray] = []
+        for r in range(size):
+            partials = np.empty((plan.num_partials(r), hidden), dtype=dtype)
+            partials[plan.combine_partial[r]] = returned[r]
+            out = np.zeros((num_tokens_per_rank[r], hidden), dtype=dtype)
+            np.add.at(out, plan.partial_token[r], partials)
+            outputs.append(out)
+        return outputs
+
 
 def make_dispatcher(
     group: ProcessGroup,
     num_experts: int,
     *,
+    kind: str | None = None,
     use_rbd: bool = False,
     expert_to_rank: np.ndarray | None = None,
     seed: int = 0,
 ) -> PlanDispatcher:
-    """Build a plan-based dispatcher for a flat or RBD configuration."""
-    if use_rbd:
+    """Build a plan-based dispatcher for one dispatch strategy.
+
+    ``kind`` picks the planner: ``"flat"`` (single uneven all-to-all, the
+    correctness oracle), ``"rbd"`` (two-stage redundancy-bypassing), or
+    ``"hier"`` (two-hop hierarchical dispatch through node leaders).  The
+    legacy boolean ``use_rbd`` is honoured when ``kind`` is omitted.
+    """
+    if kind is None:
+        kind = "rbd" if use_rbd else "flat"
+    if kind == "rbd":
         planner: _PlannerBase = RBDPlanner(
             group, num_experts, expert_to_rank, seed=seed
         )
-    else:
+    elif kind == "hier":
+        planner = HierarchicalPlanner(group, num_experts, expert_to_rank)
+    elif kind == "flat":
         planner = FlatPlanner(group, num_experts, expert_to_rank)
+    else:
+        raise ValueError(f"unknown dispatch kind {kind!r}; expected {DISPATCH_KINDS}")
     return PlanDispatcher(group, planner)

@@ -17,24 +17,37 @@ concatenation order of an uneven all-to-all — and the replica part (RBD
 only) is ordered by ``(pilot-holder member index, pilot slot, source, row)``.
 ``sort_order`` re-groups the arrival buffer into the canonical
 ``(expert, source, row)`` order consumed by the sequential GEMM; because the
-key is a total order on assignments, the flat and RBD planners produce
-**bit-identical expert input buffers**, which is what makes the RBD output
+key is a total order on assignments, every planner produces **bit-identical
+expert input buffers**, which is what makes the RBD and hierarchical outputs
 exactly equal to the flat oracle.
+
+Hierarchical plans
+------------------
+``kind == "hier"`` replaces the single stage-1 all-to-all with a two-hop
+program (intra-node gather onto a per-node leader, one leader-to-leader
+inter-node exchange, intra-node scatter to the owning expert rank).  The
+``h*`` fields hold that program; the legacy stage-1 fields are reused for
+the pieces with the same shape (``send_rows`` = deduplicated rows leaving
+each source, ``send_splits``/``recv_splits`` = the leader-to-leader
+exchange matrix).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.cluster.topology import LinkTier
 
 
 @dataclass
 class DispatchPlan:
-    """Vectorized routing plan shared by the flat and RBD dispatch paths.
+    """Vectorized routing plan shared by every dispatch path.
 
     ``kind`` is ``"flat"`` (single uneven all-to-all; every assignment is
-    its own pilot) or ``"rbd"`` (two-stage redundancy-bypassing dispatch).
+    its own pilot), ``"rbd"`` (two-stage redundancy-bypassing dispatch), or
+    ``"hier"`` (two-hop hierarchical dispatch through per-node leaders).
     """
 
     kind: str
@@ -79,15 +92,36 @@ class DispatchPlan:
     combine_perm: list[np.ndarray]  # (group, expert) fold order
     partial_token: list[np.ndarray]  # per partial group: sequence position
 
+    # ---- hierarchical two-hop program (empty unless kind == "hier") ------
+    # Hop A: every member sends its deduplicated rows to its node leader
+    # (``send_rows`` holds the rows in hop-A send order).  Hop B: one
+    # group-wide alltoallv in which only leaders exchange (its matrix lives
+    # in ``send_splits``/``recv_splits``).  Hop C: each destination leader
+    # scatters one row per assignment to the owning expert rank.
+    hA_send_splits: list[np.ndarray] = field(default_factory=list)  # [node size]
+    hA_recv_splits: list[np.ndarray] = field(default_factory=list)  # [node size]
+    hB_perm: list[np.ndarray] = field(default_factory=list)  # hop-A slot -> send row
+    hC_gather: list[np.ndarray] = field(default_factory=list)  # hop-B slot per send row
+    hC_send_splits: list[np.ndarray] = field(default_factory=list)  # [node size]
+    hC_recv_splits: list[np.ndarray] = field(default_factory=list)  # [node size]
+    # Combine-side leader fold: reverse-hop-C row indices in fold order
+    # (hop-B slot, expert) and the target hop-B slot per fold entry.
+    hM_fold_perm: list[np.ndarray] = field(default_factory=list)
+    hM_fold_slot: list[np.ndarray] = field(default_factory=list)
+
     # ---- plan statistics -------------------------------------------------
     total_assignments: int = 0
     total_pilots: int = 0
     cross_node_assignments: int = 0  # assignments whose dest node != src node
     cross_node_pilots: int = 0  # rows actually sent inter-node
+    # Payload rows each dispatch hop moves, keyed by the LinkTier the hop
+    # crosses (SELF rows included; combine hops mirror these exactly).
+    dispatch_rows_by_tier: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
     def num_replicas(self) -> int:
+        """Assignments served locally instead of crossing stage 1."""
         return self.total_assignments - self.total_pilots
 
     @property
@@ -97,9 +131,26 @@ class DispatchPlan:
 
     @property
     def redundancy(self) -> float:
+        """Fraction of assignments that did not travel in stage 1."""
         if self.total_assignments == 0:
             return 0.0
         return self.num_replicas / self.total_assignments
+
+    @property
+    def inter_node_rows(self) -> int:
+        """Dispatch payload rows crossing node boundaries (any hop)."""
+        return int(
+            self.dispatch_rows_by_tier.get(LinkTier.INTER_NODE, 0)
+            + self.dispatch_rows_by_tier.get(LinkTier.CROSS_RACK, 0)
+        )
+
+    @property
+    def intra_node_rows(self) -> int:
+        """Dispatch payload rows moved inside a node (excluding self-sends)."""
+        return int(
+            self.dispatch_rows_by_tier.get(LinkTier.INTRA_PACKAGE, 0)
+            + self.dispatch_rows_by_tier.get(LinkTier.INTRA_NODE, 0)
+        )
 
     def num_partials(self, rank: int) -> int:
         """Number of (token, node) partial groups at one source rank."""
@@ -122,9 +173,14 @@ class DispatchPlan:
 
     def validate(self) -> None:
         """Internal-consistency checks (used by the test suite)."""
-        for r in range(self.size):
-            if int(self.send_splits[r].sum()) != int(self.send_rows[r].size):
-                raise AssertionError(f"rank {r}: send_splits do not sum to send_rows")
+        if self.kind == "hier":
+            self._validate_hier()
+        else:
+            for r in range(self.size):
+                if int(self.send_splits[r].sum()) != int(self.send_rows[r].size):
+                    raise AssertionError(
+                        f"rank {r}: send_splits do not sum to send_rows"
+                    )
         for d in range(self.size):
             expected = np.array(
                 [self.send_splits[r][d] for r in range(self.size)], dtype=np.int64
@@ -147,3 +203,26 @@ class DispatchPlan:
         arrivals = sum(self.arrival_src[d].size for d in range(self.size))
         if arrivals != self.total_assignments:
             raise AssertionError("arrival rows do not cover all assignments")
+
+    def _validate_hier(self) -> None:
+        """Consistency checks specific to the two-hop hierarchical program."""
+        for r in range(self.size):
+            if int(self.hA_send_splits[r].sum()) != int(self.send_rows[r].size):
+                raise AssertionError(
+                    f"rank {r}: hop-A send_splits do not sum to send_rows"
+                )
+            if int(self.send_splits[r].sum()) != int(self.hA_recv_splits[r].sum()):
+                raise AssertionError(
+                    f"rank {r}: hop-B sends do not cover the hop-A gather"
+                )
+            if self.hB_perm[r].size != int(self.hA_recv_splits[r].sum()):
+                raise AssertionError(f"rank {r}: hB_perm does not index hop-A buffer")
+            if self.hC_gather[r].size != int(self.hC_send_splits[r].sum()):
+                raise AssertionError(f"rank {r}: hC_gather/hC_send_splits disagree")
+            if int(self.hC_recv_splits[r].sum()) != self.arrival_src[r].size:
+                raise AssertionError(
+                    f"rank {r}: hop-C receives do not match the arrival table"
+                )
+        scattered = sum(int(self.hC_send_splits[r].sum()) for r in range(self.size))
+        if scattered != self.total_assignments:
+            raise AssertionError("hop-C scatter does not cover all assignments")

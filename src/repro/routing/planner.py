@@ -1,6 +1,7 @@
-"""Vectorized routing planners: flat all-to-all and redundancy-bypassing.
+"""Vectorized routing planners: flat all-to-all, redundancy-bypassing, and
+hierarchical two-hop dispatch.
 
-Both planners compile per-rank PFTs into a :class:`~repro.routing.plan.DispatchPlan`
+All planners compile per-rank PFTs into a :class:`~repro.routing.plan.DispatchPlan`
 by whole-array numpy operations over one global assignment table:
 
 * a single stable sort by destination yields every rank's arrival order,
@@ -13,9 +14,9 @@ by whole-array numpy operations over one global assignment table:
 
 :class:`FlatPlanner` treats every assignment as its own pilot (one uneven
 all-to-all, no stage 2) and doubles as the correctness oracle for
-:class:`RBDPlanner`: both produce canonically ordered expert input buffers
-and fold combine partial sums in the same association order, so the two
-paths produce bit-identical outputs.
+:class:`RBDPlanner` and :class:`HierarchicalPlanner`: all three produce
+canonically ordered expert input buffers and fold combine partial sums in
+the same association order, so every path produces bit-identical outputs.
 
 Determinism
 -----------
@@ -25,6 +26,8 @@ planning the same PFTs twice with the same ``step`` (or with ``step=None``)
 picks the same pilots — there is no hidden RNG state mutating across calls.
 Pass a different ``step`` per training step to decorrelate pilot choices
 over time while keeping every step reproducible.
+``HierarchicalPlanner`` uses no RNG at all: the row that travels for each
+(token, destination node) group is the group's lowest PFT row.
 """
 
 from __future__ import annotations
@@ -33,7 +36,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.topology import LinkTier
 from repro.routing.plan import DispatchPlan
+
+
+def _rows_by_tier(tiers: np.ndarray) -> dict:
+    """Histogram an array of per-row :class:`LinkTier` values into a dict."""
+    counts = np.bincount(tiers.astype(np.int64), minlength=len(LinkTier))
+    return {LinkTier(t): int(c) for t, c in enumerate(counts) if c}
 
 
 def _argsort_key(key: np.ndarray, *, tiebreak: bool = False) -> np.ndarray:
@@ -73,14 +83,17 @@ class RBDPlan:
 
     @property
     def num_pilots(self) -> int:
+        """Rows selected to travel inter-node."""
         return int(self.pilot_mask.sum())
 
     @property
     def num_replicas(self) -> int:
+        """Rows reconstructed on the destination node instead of sent."""
         return int((~self.pilot_mask).sum())
 
     @property
     def redundancy(self) -> float:
+        """Fraction of rows served as local replicas."""
         total = self.pilot_mask.size
         return 0.0 if total == 0 else self.num_replicas / total
 
@@ -158,9 +171,15 @@ class _PlannerBase:
         ]
         self.member_index = np.zeros(group.size, dtype=np.int64)
         self.node_group_size = np.zeros(group.size, dtype=np.int64)
+        self.leader_of = np.zeros(group.size, dtype=np.int64)
+        self.node_leader = np.zeros(self.num_nodes, dtype=np.int64)
         for members in self.node_members:
             self.member_index[members] = np.arange(members.size)
             self.node_group_size[members] = members.size
+            self.leader_of[members] = members[0]
+            self.node_leader[self.rank_to_node[members[0]]] = members[0]
+        # Pairwise link tiers between group-local ranks (per-hop accounting).
+        self.tier_matrix = topo.tier_matrix(np.asarray(group.ranks, dtype=np.int64))
         self._experts_by_rank = [
             np.flatnonzero(self.expert_to_rank == r) for r in range(group.size)
         ]
@@ -463,6 +482,10 @@ class _PlannerBase:
         src_node_all = self.rank_to_node[rank_all]
         cross_all = int((node_all != src_node_all).sum())
         cross_pilots = int((src_node_all[g_idx] != node_all[g_idx]).sum())
+        hop_tiers = [self.tier_matrix[g_src, g_dest]]
+        if rng is not None:
+            hop_tiers.append(self.tier_matrix[r_pr, r_dr])  # stage-2 replicas
+        rows_by_tier = _rows_by_tier(np.concatenate(hop_tiers))
 
         return DispatchPlan(
             kind=self.kind,
@@ -495,6 +518,7 @@ class _PlannerBase:
             total_pilots=int(g_idx.size),
             cross_node_assignments=cross_all,
             cross_node_pilots=cross_pilots,
+            dispatch_rows_by_tier=rows_by_tier,
         )
 
 
@@ -508,6 +532,7 @@ class FlatPlanner(_PlannerBase):
     kind = "flat"
 
     def build(self, pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Compile per-rank PFTs into a flat plan (``step`` is unused)."""
         return self._compile(pfts, rng=None)
 
 
@@ -537,4 +562,285 @@ class RBDPlanner(_PlannerBase):
         return select_pilots(pft, dest_rank, dest_node, self.num_nodes, rng)
 
     def build(self, pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Compile per-rank PFTs into an RBD plan (pilots drawn from ``step``)."""
         return self._compile(pfts, rng=self._rng(step))
+
+
+class HierarchicalPlanner(_PlannerBase):
+    """Two-hop hierarchical dispatch through per-node leaders.
+
+    ColossalAI-style hierarchical all-to-all recast as a planner: tokens are
+    (1) gathered intra-node onto a per-node *leader* over the fast
+    NVLink/XGMI tier, (2) exchanged in one leader-to-leader alltoallv over
+    the inter-node tier, and (3) scattered intra-node to the rank hosting
+    the selected expert — with the combine path running the same three hops
+    in reverse.  Each ``(source rank, token, destination node)`` group
+    crosses the inter-node links exactly once (deterministically — the
+    group's lowest PFT row is the one that travels; no RNG, unlike RBD's
+    random pilots), so inter-node bytes match RBD while the exchange itself
+    is aggregated into one large message per node pair.
+
+    The arrival tables and combine fold orders use the same canonical
+    ``(expert, src, row)`` total order as :class:`FlatPlanner`, and the
+    destination-leader fold sums each group's contributions in ascending
+    expert order — exactly the flat oracle's association order — so the
+    combined output is **bit-identical to flat** for every router policy,
+    including non-rectangular expert-choice selections.
+    """
+
+    kind = "hier"
+
+    def build(self, pfts: list, *, step: int | None = None) -> DispatchPlan:
+        """Compile per-rank PFTs into a two-hop plan (``step`` is unused)."""
+        return self._compile_hier(pfts)
+
+    # ------------------------------------------------------------------
+    def _compile_hier(self, pfts: list) -> DispatchPlan:
+        """Build the two-hop plan from one global assignment table.
+
+        All bookkeeping falls out of combined-key argsorts and bincounts
+        over flat arrays: the only Python loops run over ranks or nodes,
+        never over rows.
+        """
+        size = self.group.size
+        if len(pfts) != size:
+            raise ValueError(f"need one PFT per group rank (got {len(pfts)})")
+        num_nodes = self.num_nodes
+        num_experts = self.num_experts
+        mm = int(self.node_group_size.max())
+        leader_of, node_leader = self.leader_of, self.node_leader
+
+        # ---- global assignment table --------------------------------
+        sizes = np.array([p.num_routed_tokens for p in pfts], dtype=np.int64)
+        total = int(sizes.sum())
+        offsets = np.concatenate([[0], np.cumsum(sizes)])
+        max_rows = int(sizes.max()) + 1
+        rank_all = np.repeat(np.arange(size, dtype=np.int64), sizes)
+        row_all = np.arange(total, dtype=np.int64) - offsets[rank_all]
+        expert_all = np.concatenate([p.expert_ids for p in pfts]).astype(
+            np.int64, copy=False
+        )
+        token_all = np.concatenate([p.token_ids for p in pfts]).astype(
+            np.int64, copy=False
+        )
+        weight_all = np.concatenate([p.combine_weights for p in pfts])
+        dest_all = self.expert_to_rank[expert_all]
+        dnode_all = self.rank_to_node[dest_all]
+        dmember_all = self.member_index[dest_all]
+        dleader_all = leader_of[dest_all]
+        max_tok = max((p.num_source_tokens for p in pfts), default=0) + 1
+
+        # ---- dedup: one travelling row per (src, token, dest node) --
+        # The group key is token-major per rank — the same key the flat
+        # planner uses for its combine partial groups, so ``partial_token``
+        # is identical across all three plan kinds.
+        key_g = (rank_all * max_tok + token_all) * num_nodes + dnode_all
+        uniq, inv = np.unique(key_g, return_inverse=True)
+        num_groups = uniq.size
+        g_rank = uniq // (max_tok * num_nodes)
+        g_token = (uniq // num_nodes) % max_tok
+        g_node = uniq % num_nodes
+        rep_row = np.full(num_groups, np.iinfo(np.int64).max, dtype=np.int64)
+        np.minimum.at(rep_row, inv, row_all)
+        g_counts = np.bincount(g_rank, minlength=size)
+        g_bounds = np.concatenate([[0], np.cumsum(g_counts)])
+        # Position of each group within its rank, in (token, node) order —
+        # exactly the partial-group id of the flat combine.
+        g_localid = np.arange(num_groups, dtype=np.int64) - g_bounds[g_rank]
+
+        # ---- hop A: members gather onto their node leader -----------
+        # Send order per source is (dest node, token); every row goes to
+        # the node leader (member 0), so the leader's arrival buffer is the
+        # member-order concatenation of those per-member runs.
+        o_hA = _argsort_key((g_rank * num_nodes + g_node) * max_tok + g_token)
+        hA_rows_sorted = rep_row[o_hA]
+        hA_send_rows = [
+            hA_rows_sorted[g_bounds[r] : g_bounds[r + 1]] for r in range(size)
+        ]
+        hA_pos = np.empty(num_groups, dtype=np.int64)
+        hA_pos[o_hA] = np.arange(num_groups, dtype=np.int64) - g_bounds[g_rank[o_hA]]
+        hA_send_splits = []
+        for r in range(size):
+            send = np.zeros(int(self.node_group_size[r]), dtype=np.int64)
+            send[0] = g_counts[r]
+            hA_send_splits.append(send)
+        hA_recv_splits: list[np.ndarray] = [None] * size  # type: ignore[list-item]
+        member_offset = np.zeros(size, dtype=np.int64)
+        for members in self.node_members:
+            member_offset[members] = np.concatenate(
+                [[0], np.cumsum(g_counts[members])[:-1]]
+            )
+            hA_recv_splits[int(members[0])] = g_counts[members].astype(np.int64)
+            for m in members[1:]:
+                hA_recv_splits[int(m)] = np.zeros(members.size, dtype=np.int64)
+        # Slot of each group in its source-node leader's hop-A buffer.
+        a_pos = member_offset[g_rank] + hA_pos
+
+        # ---- hop B: one leader-to-leader exchange -------------------
+        g_sleader = leader_of[g_rank]
+        g_dleader = node_leader[g_node]
+        max_a = int(a_pos.max(initial=0)) + 1
+        o_hB = _argsort_key((g_sleader * size + g_dleader) * max_a + a_pos)
+        sl_counts = np.bincount(g_sleader, minlength=size)
+        sl_bounds = np.concatenate([[0], np.cumsum(sl_counts)])
+        hB_all = a_pos[o_hB]
+        hB_perm = [hB_all[sl_bounds[r] : sl_bounds[r + 1]] for r in range(size)]
+        hB_mat = np.bincount(
+            g_sleader * size + g_dleader, minlength=size * size
+        ).reshape(size, size)
+        hB_send_splits = [hB_mat[r] for r in range(size)]
+        hB_recv_splits = [hB_mat[:, r].copy() for r in range(size)]
+        # Slot of each group in its dest-node leader's hop-B arrival buffer
+        # (chunks concatenate in source-leader rank order).
+        o_arrB = _argsort_key((g_dleader * size + g_sleader) * max_a + a_pos)
+        dl_bounds = np.concatenate([[0], np.cumsum(np.bincount(g_dleader, minlength=size))])
+        b_pos = np.empty(num_groups, dtype=np.int64)
+        b_pos[o_arrB] = np.arange(num_groups, dtype=np.int64) - dl_bounds[g_dleader[o_arrB]]
+
+        # ---- hop C: dest leader scatters one row per assignment -----
+        # Send order is (dest member, src rank, token, expert): members get
+        # contiguous chunks and each chunk matches the destination's
+        # arrival-table order below.
+        sub = (rank_all * max_tok + token_all) * num_experts + expert_all
+        max_sub = int(sub.max(initial=0)) + 1
+        o_hC = _argsort_key((dleader_all * mm + dmember_all) * max_sub + sub)
+        cl_counts = np.bincount(dleader_all, minlength=size)
+        cl_bounds = np.concatenate([[0], np.cumsum(cl_counts)])
+        hC_all = b_pos[inv[o_hC]]
+        hC_gather = [hC_all[cl_bounds[r] : cl_bounds[r + 1]] for r in range(size)]
+        hC_mat = np.bincount(
+            dleader_all * mm + dmember_all, minlength=size * mm
+        ).reshape(size, mm)
+        hC_send_splits = [
+            hC_mat[r, : int(self.node_group_size[r])] for r in range(size)
+        ]
+        n_dest = np.bincount(dest_all, minlength=size)
+        hC_recv_splits = []
+        for r in range(size):
+            recv = np.zeros(int(self.node_group_size[r]), dtype=np.int64)
+            recv[0] = n_dest[r]  # everything arrives from the leader
+            hC_recv_splits.append(recv)
+
+        # ---- arrival tables -----------------------------------------
+        # Arrival order at destination d is (src rank, token, expert) —
+        # the order hop C delivers.
+        o_arr = _argsort_key(dest_all * max_sub + sub)
+        d_bounds = np.concatenate([[0], np.cumsum(n_dest)])
+        arr_src_g, arr_row_g = rank_all[o_arr], row_all[o_arr]
+        arr_expert_g, arr_weight_g = expert_all[o_arr], weight_all[o_arr]
+        arrival_src = [arr_src_g[d_bounds[d] : d_bounds[d + 1]] for d in range(size)]
+        arrival_row = [arr_row_g[d_bounds[d] : d_bounds[d + 1]] for d in range(size)]
+        arrival_expert = [
+            arr_expert_g[d_bounds[d] : d_bounds[d + 1]] for d in range(size)
+        ]
+        arrival_weight = [
+            arr_weight_g[d_bounds[d] : d_bounds[d + 1]] for d in range(size)
+        ]
+
+        # ---- canonical expert grouping ------------------------------
+        # Same total-order key as the flat planner — this is what makes the
+        # expert input buffers (and hence the outputs) bit-identical.
+        t_dest = np.repeat(np.arange(size, dtype=np.int64), n_dest)
+        t_local = np.arange(total, dtype=np.int64) - d_bounds[t_dest]
+        canon_key = (
+            (t_dest * num_experts + arr_expert_g) * size + arr_src_g
+        ) * max_rows + arr_row_g
+        o_canon = _argsort_key(canon_key)
+        canon_sorted = t_local[o_canon]
+        sort_order = [
+            canon_sorted[d_bounds[d] : d_bounds[d + 1]] for d in range(size)
+        ]
+        expert_counts = np.bincount(
+            t_dest * num_experts + arr_expert_g, minlength=size * num_experts
+        ).reshape(size, num_experts)
+        tokens_per_local_expert = [
+            expert_counts[d][self._experts_by_rank[d]] for d in range(size)
+        ]
+
+        # ---- combine-side leader fold -------------------------------
+        # The reverse-hop-C buffer at each leader is the member-order
+        # concatenation of full weighted buffers — i.e. exactly hop-C send
+        # order.  Folding its rows onto hop-B slots sorted by (slot,
+        # expert) sums every (token, node) group in ascending expert order,
+        # the flat oracle's association order.
+        posC = np.empty(total, dtype=np.int64)
+        posC[o_hC] = np.arange(total, dtype=np.int64) - cl_bounds[dleader_all[o_hC]]
+        slot_a = b_pos[inv]
+        max_b = int(b_pos.max(initial=0)) + 1
+        o_fold = _argsort_key((dleader_all * max_b + slot_a) * num_experts + expert_all)
+        fold_perm_all, fold_slot_all = posC[o_fold], slot_a[o_fold]
+        hM_fold_perm = [
+            fold_perm_all[cl_bounds[r] : cl_bounds[r + 1]] for r in range(size)
+        ]
+        hM_fold_slot = [
+            fold_slot_all[cl_bounds[r] : cl_bounds[r + 1]] for r in range(size)
+        ]
+
+        # ---- source-side combine ------------------------------------
+        # One returned row per (token, node) group, delivered in hop-A send
+        # order; ``combine_partial`` reorders it into group-id order and
+        # the token fold then matches flat exactly.
+        combine_partial = [
+            g_localid[o_hA][g_bounds[r] : g_bounds[r + 1]] for r in range(size)
+        ]
+        partial_token = [g_token[g_bounds[r] : g_bounds[r + 1]] for r in range(size)]
+        empty_i = np.zeros(0, dtype=np.int64)
+
+        # ---- statistics ---------------------------------------------
+        src_node_all = self.rank_to_node[rank_all]
+        cross_all = int((dnode_all != src_node_all).sum())
+        cross_groups = int((g_node != self.rank_to_node[g_rank]).sum())
+        rows_by_tier = _rows_by_tier(
+            np.concatenate(
+                [
+                    self.tier_matrix[g_rank, g_sleader],  # hop A
+                    self.tier_matrix[g_sleader, g_dleader],  # hop B
+                    self.tier_matrix[dleader_all, dest_all],  # hop C
+                ]
+            )
+        )
+
+        zero_node_splits = [
+            np.zeros(int(self.node_group_size[r]), dtype=np.int64) for r in range(size)
+        ]
+        return DispatchPlan(
+            kind=self.kind,
+            size=size,
+            num_experts=num_experts,
+            num_nodes=num_nodes,
+            expert_to_rank=self.expert_to_rank,
+            rank_to_node=self.rank_to_node,
+            pfts=list(pfts),
+            send_rows=hA_send_rows,
+            send_splits=hB_send_splits,
+            recv_splits=hB_recv_splits,
+            arrival_src=arrival_src,
+            arrival_row=arrival_row,
+            arrival_expert=arrival_expert,
+            arrival_weight=arrival_weight,
+            num_pilot_arrivals=[int(n) for n in n_dest],
+            sort_order=sort_order,
+            tokens_per_local_expert=tokens_per_local_expert,
+            node_members=self.node_members,
+            s2_source_slot=[empty_i] * size,
+            s2_send_splits=zero_node_splits,
+            s2_recv_splits=list(zero_node_splits),
+            merge_slot=[empty_i] * size,
+            merge_perm=[empty_i] * size,
+            combine_partial=combine_partial,
+            combine_perm=[empty_i] * size,
+            partial_token=partial_token,
+            hA_send_splits=hA_send_splits,
+            hA_recv_splits=hA_recv_splits,
+            hB_perm=hB_perm,
+            hC_gather=hC_gather,
+            hC_send_splits=hC_send_splits,
+            hC_recv_splits=hC_recv_splits,
+            hM_fold_perm=hM_fold_perm,
+            hM_fold_slot=hM_fold_slot,
+            total_assignments=total,
+            total_pilots=num_groups,
+            cross_node_assignments=cross_all,
+            cross_node_pilots=cross_groups,
+            dispatch_rows_by_tier=rows_by_tier,
+        )

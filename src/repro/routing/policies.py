@@ -137,14 +137,17 @@ class RoutingDecision:
     # ------------------------------------------------------------------
     @property
     def num_assignments(self) -> int:
+        """Total (token, expert) assignments, dropped ones included."""
         return int(self.token_ids.size)
 
     @property
     def num_dropped(self) -> int:
+        """Assignments the policy itself discarded."""
         return int(self.dropped.sum())
 
     @property
     def drop_rate(self) -> float:
+        """Policy-dropped assignments as a fraction of all assignments."""
         if self.num_assignments == 0:
             return 0.0
         return self.num_dropped / self.num_assignments
@@ -267,6 +270,7 @@ class _PolicyBase:
         return np.random.default_rng((self.seed, int(step)))
 
     def route(self, hidden: np.ndarray, step: int | None = None) -> RoutingDecision:
+        """Project hidden states through the router weight and decide."""
         if self.weight is None:
             raise ValueError(
                 f"{type(self).__name__} has no router weight; construct it with "
@@ -284,6 +288,7 @@ class _PolicyBase:
         *,
         probs: np.ndarray | None = None,
     ) -> RoutingDecision:
+        """Route from precomputed logits (implemented per policy)."""
         raise NotImplementedError
 
     def _scaled_z_loss(self, logits: np.ndarray) -> float:
@@ -339,6 +344,7 @@ class SoftmaxTopKPolicy(_PolicyBase):
         *,
         probs: np.ndarray | None = None,
     ) -> RoutingDecision:
+        """Softmax the logits and keep each token's top-k experts."""
         logits = np.asarray(logits, dtype=np.float64)
         if probs is None:
             probs = _softmax(logits)
@@ -396,8 +402,11 @@ class SwitchTop1Policy(_PolicyBase):
         *,
         probs: np.ndarray | None = None,
     ) -> RoutingDecision:
-        # probs (the clean softmax) is unused: selection and combine scores
-        # come from the softmax of the *noisy* logits.
+        """Pick each token's top-1 expert under noise, dropping overflow.
+
+        ``probs`` (the clean softmax) is unused: selection and combine
+        scores come from the softmax of the *noisy* logits.
+        """
         logits = np.asarray(logits, dtype=np.float64)
         s = logits.shape[0]
         noise = 1.0 - self.eps + self._rng(step).random(logits.shape) * (2.0 * self.eps)
@@ -465,8 +474,11 @@ class NoisyTopKPolicy(_PolicyBase):
         *,
         probs: np.ndarray | None = None,
     ) -> RoutingDecision:
-        # probs (the clean softmax) is unused: selection runs over the
-        # perturbed logits.
+        """Top-k selection over additively perturbed logits.
+
+        ``probs`` (the clean softmax) is unused: selection runs over the
+        perturbed logits.
+        """
         logits = np.asarray(logits, dtype=np.float64)
         noisy = logits + self._rng(step).normal(0.0, self.noise_std, size=logits.shape)
         probs = _softmax(noisy)
@@ -510,6 +522,7 @@ class ExpertChoicePolicy(_PolicyBase):
         *,
         probs: np.ndarray | None = None,
     ) -> RoutingDecision:
+        """Let each expert take its top-``capacity`` tokens by probability."""
         logits = np.asarray(logits, dtype=np.float64)
         s, e = logits.shape
         if probs is None:

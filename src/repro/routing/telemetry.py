@@ -4,9 +4,10 @@
 actually did to the cluster: the per-expert load histogram, the policy /
 capacity drop rates, the normalized load-balance entropy, and — when the
 step's :class:`~repro.routing.plan.DispatchPlan` is recorded too — the
-dispatched byte counts and redundancy of the dispatch path.  The simulated
-trainer records one entry per training step; the router-policy benchmark
-prints the accumulated summaries as a comparison table.
+dispatched byte counts (split into inter-node vs intra-node tiers) and
+redundancy of the dispatch path.  The simulated trainer records one entry
+per training step; the router-policy and hierarchical-dispatch benchmarks
+print the accumulated summaries as comparison tables.
 """
 
 from __future__ import annotations
@@ -46,8 +47,13 @@ class RoutingTelemetry:
         self.z_loss_sum = 0.0
         self.stage1_bytes = 0.0
         self.stage2_bytes = 0.0
+        self.inter_node_bytes = 0.0
+        self.intra_node_bytes = 0.0
         self.sent_rows = 0
         self.planned_assignments = 0
+        #: optionally attached by the validation driver: the CommWorld's
+        #: CommStats, for per-op / per-tier inspection after the run.
+        self.comm_stats = None
 
     # ------------------------------------------------------------------
     def record(self, decisions, *, pfts=None, plan=None, row_bytes: int = 0) -> None:
@@ -79,6 +85,8 @@ class RoutingTelemetry:
             stats = plan.stats_dict(row_bytes)
             self.stage1_bytes += stats["stage1_bytes"]
             self.stage2_bytes += stats["stage2_bytes"]
+            self.inter_node_bytes += plan.inter_node_rows * row_bytes
+            self.intra_node_bytes += plan.intra_node_rows * row_bytes
             self.sent_rows += plan.sent_rows()
             self.planned_assignments += plan.total_assignments
         self.steps += 1
@@ -91,6 +99,7 @@ class RoutingTelemetry:
 
     @property
     def drop_rate(self) -> float:
+        """Dropped assignments as a fraction of all routed assignments."""
         if self.assignments == 0:
             return 0.0
         return self.dropped / self.assignments
@@ -114,6 +123,7 @@ class RoutingTelemetry:
         return float(self.load.max() / mean)
 
     def mean_aux_loss(self) -> float:
+        """Mean per-step auxiliary (load-balance) loss."""
         return self.aux_loss_sum / max(1, self.steps)
 
     # ------------------------------------------------------------------
@@ -129,5 +139,7 @@ class RoutingTelemetry:
             "capacity_dropped": self.capacity_dropped,
             "stage1_mb": round(self.stage1_bytes / 1e6, 3),
             "stage2_mb": round(self.stage2_bytes / 1e6, 3),
+            "inter_node_mb": round(self.inter_node_bytes / 1e6, 3),
+            "intra_node_mb": round(self.intra_node_bytes / 1e6, 3),
             "redundancy": round(self.redundancy, 4),
         }

@@ -47,6 +47,7 @@ from repro.xmoe.trainer import (
     policy_for_config,
     run_routing_validation,
     sweep_best_config,
+    sweep_dispatch_validation,
 )
 
 __all__ = [
@@ -81,4 +82,5 @@ __all__ = [
     "policy_for_config",
     "run_routing_validation",
     "sweep_best_config",
+    "sweep_dispatch_validation",
 ]

@@ -11,11 +11,14 @@ configuration that fits in memory.
 
 :func:`dispatcher_for_config` and :func:`policy_for_config` bridge the
 analytic trainer and the functional substrate: the former returns the
-plan-based dispatch engine (flat or RBD, per ``parallel.use_rbd``), the
-latter the :class:`~repro.routing.policies.RouterPolicy` named by
-``model.router`` — and :func:`run_routing_validation` drives both over the
-simulated cluster for a few steps, recording a step-by-step
+plan-based dispatch engine (flat, RBD, or hierarchical, per
+``parallel.dispatch_kind``), the latter the
+:class:`~repro.routing.policies.RouterPolicy` named by ``model.router`` —
+and :func:`run_routing_validation` drives both over the simulated cluster
+for a few steps, recording a step-by-step
 :class:`~repro.routing.telemetry.RoutingTelemetry`.
+:func:`sweep_dispatch_validation` runs the same validation once per dispatch
+strategy, which is how the dispatch benchmarks compare per-tier traffic.
 """
 
 from __future__ import annotations
@@ -47,16 +50,17 @@ def dispatcher_for_config(
 ) -> PlanDispatcher:
     """The dispatch engine a training configuration calls for.
 
-    X-MoE configurations with ``use_rbd=True`` get the two-stage
-    redundancy-bypassing planner; everything else gets the flat
-    all-to-all planner.  Both sit behind the same
-    :class:`~repro.routing.engine.Dispatcher` protocol, so callers are
+    ``parallel.dispatch_kind`` picks the planner — ``"flat"`` (single
+    uneven all-to-all), ``"rbd"`` (two-stage redundancy-bypassing; also
+    selected by the legacy ``use_rbd=True``), or ``"hier"`` (two-hop
+    hierarchical dispatch through node leaders).  All three sit behind the
+    same :class:`~repro.routing.engine.Dispatcher` protocol, so callers are
     agnostic to which one they drive.
     """
     return make_dispatcher(
         group,
         num_experts,
-        use_rbd=bool(parallel.use_rbd),
+        kind=parallel.dispatch_kind,
         expert_to_rank=expert_to_rank,
         seed=seed,
     )
@@ -104,6 +108,7 @@ def run_routing_validation(
     steps: int = 2,
     capacity_factor: float = 1.25,
     use_rbd: bool = False,
+    dispatch: str | None = None,
     seed: int = 0,
     skew: float = 0.0,
     system: SystemSpec | None = None,
@@ -112,11 +117,13 @@ def run_routing_validation(
 
     Every step: each rank routes a fresh batch of (optionally Zipf-skewed)
     hidden states with the shared policy, the decisions compile to PFTs
-    (policy drops filtered, then the standard capacity rule), the flat or
-    RBD planner builds the step's :class:`~repro.routing.plan.DispatchPlan`,
-    tokens dispatch and combine over the simulated cluster, and the
-    telemetry records the step.  All randomness derives from
-    ``(seed, step, rank)``, so a run is exactly reproducible.
+    (policy drops filtered, then the standard capacity rule), the selected
+    planner (``dispatch="flat"|"rbd"|"hier"``; the legacy ``use_rbd``
+    boolean is honoured when ``dispatch`` is omitted) builds the step's
+    :class:`~repro.routing.plan.DispatchPlan`, tokens dispatch and combine
+    over the simulated cluster, and the telemetry records the step.  All
+    randomness derives from ``(seed, step, rank)``, so a run is exactly
+    reproducible.
     """
     world = CommWorld(num_ranks=num_ranks, system=system)
     group = world.world_group()
@@ -129,7 +136,9 @@ def run_routing_validation(
         rng=np.random.default_rng(seed),
         seed=seed,
     )
-    dispatcher = make_dispatcher(group, num_experts, use_rbd=use_rbd, seed=seed)
+    dispatcher = make_dispatcher(
+        group, num_experts, kind=dispatch, use_rbd=use_rbd, seed=seed
+    )
     capacity = max(
         1, math.ceil(capacity_factor * tokens_per_rank * top_k / num_experts)
     )
@@ -153,7 +162,24 @@ def run_routing_validation(
             [buf.copy() for buf in expert_inputs], plan, [tokens_per_rank] * num_ranks
         )
         telemetry.record(decisions, pfts=pfts, plan=plan, row_bytes=row_bytes)
+    telemetry.comm_stats = world.stats
     return telemetry
+
+
+def sweep_dispatch_validation(
+    router: str, *, kinds: tuple[str, ...] = ("flat", "rbd", "hier"), **kwargs
+) -> dict[str, RoutingTelemetry]:
+    """Run :func:`run_routing_validation` once per dispatch strategy.
+
+    Every strategy sees the identical workload (the policy, data, and plan
+    randomness all derive from the same seed), so the returned telemetries
+    are directly comparable — this is the sweep behind the hierarchical
+    dispatch benchmark's per-tier byte table.
+    """
+    return {
+        kind: run_routing_validation(router, dispatch=kind, **kwargs)
+        for kind in kinds
+    }
 
 
 @dataclass
@@ -232,15 +258,17 @@ class SimulatedTrainer:
         tokens_per_rank: int = 64,
         hidden_size: int | None = None,
         skew: float = 0.0,
+        dispatch: str | None = None,
     ) -> RoutingTelemetry:
         """Functionally validate this configuration's routing regime.
 
         Runs ``model.router`` over the configuration's EP group for a few
-        steps (dispatch + combine over the simulated cluster, flat or RBD
-        per ``parallel.use_rbd``) and returns the per-step
-        :class:`~repro.routing.telemetry.RoutingTelemetry`.  ``hidden_size``
-        defaults to the model's hidden size; pass a smaller value for a
-        cheap smoke run.
+        steps (dispatch + combine over the simulated cluster, flat / RBD /
+        hierarchical per ``parallel.dispatch_kind``) and returns the
+        per-step :class:`~repro.routing.telemetry.RoutingTelemetry`.
+        ``hidden_size`` defaults to the model's hidden size; pass a smaller
+        value for a cheap smoke run, or ``dispatch`` to sweep a strategy
+        other than the configured one.
         """
         return run_routing_validation(
             self.model.router,
@@ -251,7 +279,7 @@ class SimulatedTrainer:
             tokens_per_rank=tokens_per_rank,
             steps=steps,
             capacity_factor=self.model.capacity_factor,
-            use_rbd=bool(self.parallel.use_rbd),
+            dispatch=dispatch or self.parallel.dispatch_kind,
             seed=self.parallel.router_seed,
             skew=skew,
         )

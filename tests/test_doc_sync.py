@@ -1,0 +1,35 @@
+"""The doc-sync check (scripts/check_doc_sync.py) runs green in tier-1.
+
+This makes the docs a first-class, test-enforced artifact: adding a
+benchmark without an experiment-index row, or letting README's verify
+command drift from ROADMAP's tier-1 line, fails the suite — not just CI.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "check_doc_sync.py"
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location("check_doc_sync", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_doc_sync", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_in_sync():
+    checker = load_checker()
+    errors: list[str] = []
+    checker.check_experiment_index(errors)
+    checker.check_verify_command(errors)
+    assert not errors, "doc-sync problems:\n" + "\n".join(errors)
+
+
+def test_roadmap_declares_tier1_command():
+    checker = load_checker()
+    command = checker.tier1_command()
+    assert command is not None
+    assert "pytest" in command
