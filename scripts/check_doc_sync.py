@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Doc-sync check: the docs must keep up with the code.
 
-Two invariants, both enforced in CI (and by ``tests/test_doc_sync.py``):
+Three invariants, all enforced in CI (and by ``tests/test_doc_sync.py``):
 
 1. **Experiment index coverage** — every ``benchmarks/test_*.py`` file must
    appear in DESIGN.md's experiment index, so a new benchmark cannot land
@@ -10,6 +10,9 @@ Two invariants, both enforced in CI (and by ``tests/test_doc_sync.py``):
 2. **Verify-command agreement** — the tier-1 verify command in README.md
    must be exactly the one ROADMAP.md declares, so the README can never
    advertise a drifted (weaker or broken) check.
+3. **CLI coverage** — every ``python -m repro`` subcommand registered in
+   ``src/repro/__main__.py`` must be documented in README.md (as
+   ``repro <name>``), so a new subcommand cannot land undocumented.
 
 Run:  python scripts/check_doc_sync.py
 Exits non-zero with a per-problem message when out of sync.
@@ -67,15 +70,44 @@ def check_verify_command(errors: list[str]) -> None:
         )
 
 
+def cli_subcommands() -> list[str]:
+    """Subcommand names registered on the argparse CLI (source-scanned)."""
+    source = (REPO / "src" / "repro" / "__main__.py").read_text()
+    return re.findall(r"add_parser\(\s*[\"']([\w-]+)[\"']", source)
+
+
+def check_cli_docs(errors: list[str]) -> None:
+    """Every CLI subcommand must be documented in README.md."""
+    commands = cli_subcommands()
+    if not commands:
+        errors.append("src/repro/__main__.py registers no CLI subcommands")
+        return
+    readme_path = REPO / "README.md"
+    if not readme_path.exists():
+        errors.append("README.md does not exist")
+        return
+    readme = readme_path.read_text()
+    for command in commands:
+        if not re.search(rf"repro {re.escape(command)}\b", readme):
+            errors.append(
+                f"CLI subcommand 'repro {command}' is not documented in "
+                "README.md — add it to the CLI section"
+            )
+
+
 def main() -> int:
     """Run every doc-sync check; return the number of problems found."""
     errors: list[str] = []
     check_experiment_index(errors)
     check_verify_command(errors)
+    check_cli_docs(errors)
     for problem in errors:
         print(f"doc-sync: {problem}", file=sys.stderr)
     if not errors:
-        print("doc-sync: DESIGN.md experiment index and README verify command OK")
+        print(
+            "doc-sync: DESIGN.md experiment index, README verify command, "
+            "and CLI docs OK"
+        )
     return len(errors)
 
 

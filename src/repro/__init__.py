@@ -22,9 +22,22 @@ Top-level layout (see DESIGN.md for the experiment index):
 * :mod:`repro.xmoe` — the X-MoE contribution: PFT, padding-free pipeline,
   RBD, SSMB, parallelism planning, memory and performance models, trainer.
 * :mod:`repro.analysis` — redundancy / trade-off / sensitivity analyses.
+* :mod:`repro.tuner` — offline auto-tuner: topology-aware parallel-plan
+  search over the cost/memory models, ranked with a Pareto frontier.
 """
 
-from repro import analysis, baselines, cluster, comm, config, moe, routing, tensor, xmoe
+from repro import (
+    analysis,
+    baselines,
+    cluster,
+    comm,
+    config,
+    moe,
+    routing,
+    tensor,
+    tuner,
+    xmoe,
+)
 
 __version__ = "0.2.0"
 
@@ -38,5 +51,6 @@ __all__ = [
     "routing",
     "xmoe",
     "analysis",
+    "tuner",
     "__version__",
 ]

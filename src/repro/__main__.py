@@ -7,6 +7,7 @@ Usage::
     python -m repro fig4        # redundancy rate vs EP size
     python -m repro fig13       # SSMB memory saving vs TP degree
     python -m repro configs     # Table 3 model configurations
+    python -m repro tune        # auto-tune a parallel plan for a cluster
 
 Each subcommand prints the corresponding rows; the full benchmark harness
 (with assertions on the expected shapes) lives under ``benchmarks/``.
@@ -97,6 +98,45 @@ def _cmd_fig9(args) -> None:
         print(f"{'super':>8} | x-moe on 1024 GPUs: {status}")
 
 
+def _cmd_tune(args) -> None:
+    from repro.config import dgx_cluster, frontier_system, paper_config
+    from repro.tuner import load_calibration, tune
+
+    model = paper_config(args.model)
+    if args.system == "frontier":
+        system = frontier_system(num_nodes=args.nodes)
+    else:
+        system = dgx_cluster(num_nodes=args.nodes)
+    tokens = args.token_budget
+    if tokens is None:
+        tokens = args.global_batch * model.seq_length
+    calibration = load_calibration() if args.calibrate else None
+    report = tune(model, system, tokens_per_step=tokens, calibration=calibration)
+    print(report.describe())
+    if not report.ranked:
+        return
+    header = (
+        f"{'rank':>4} | {'ep':>4} | {'tp':>2} | {'zero':>4} | {'ssmb':>4} | "
+        f"{'dispatch':>8} | {'placement':>9} | {'router':>12} | {'cap':>4} | "
+        f"{'step (s)':>9} | {'TF/GPU':>6} | {'mem GB':>6} | {'pareto':>6}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for row in report.table_rows(args.top):
+        print(
+            f"{row['rank']:>4} | {row['ep']:>4} | {row['tp']:>2} | {row['zero']:>4} | "
+            f"{row['ssmb']:>4} | {row['dispatch']:>8} | {row['placement']:>9} | "
+            f"{row['router']:>12} | {row['cap']:>4.2f} | {row['step_s']:>9.3f} | "
+            f"{row['TF/GPU']:>6.1f} | {row['mem_GB']:>6.1f} | {row['pareto']:>6}"
+        )
+    best = report.best_parallel_config()
+    print(
+        f"\nconsume the winner: dispatcher_for_config(group, {model.num_experts}, "
+        f"plan) with plan.dispatch_kind={best.dispatch_kind!r}, and "
+        f"policy_for_config(report.best_model_config(), plan)"
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -107,6 +147,25 @@ def main(argv: list[str] | None = None) -> int:
     fig9 = sub.add_parser("fig9", help="trainability and throughput sweep")
     fig9.add_argument("--quick", action="store_true", help="only the Small model")
     fig9.set_defaults(fn=_cmd_fig9)
+    tune = sub.add_parser("tune", help="auto-tune a parallel plan for a cluster")
+    tune.add_argument("--model", default="small", help="paper config name (Table 3)")
+    tune.add_argument(
+        "--system", choices=("frontier", "dgx"), default="frontier", help="cluster kind"
+    )
+    tune.add_argument("--nodes", type=int, default=16, help="number of nodes")
+    tune.add_argument(
+        "--token-budget", type=int, default=None, help="tokens per optimizer step"
+    )
+    tune.add_argument(
+        "--global-batch", type=int, default=1024,
+        help="sequences per step (used when --token-budget is omitted)",
+    )
+    tune.add_argument("--top", type=int, default=10, help="ranked plans to print")
+    tune.add_argument(
+        "--calibrate", action="store_true",
+        help="fold measured micro-benchmark constants from benchmarks/results/ in",
+    )
+    tune.set_defaults(fn=_cmd_tune)
     args = parser.parse_args(argv)
     args.fn(args)
     return 0

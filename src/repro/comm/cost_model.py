@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster.network import NetworkModel, TransferEstimate
+from repro.cluster.topology import LinkTier
 
 
 def alltoall_traffic_matrix(
@@ -105,6 +106,11 @@ def hierarchical_alltoall_time(
     return inter_est, intra_est
 
 
+def _zero_estimate() -> TransferEstimate:
+    """A zero-cost transfer (nothing leaves the device)."""
+    return TransferEstimate(seconds=0.0, bottleneck_tier=LinkTier.SELF, bytes_by_tier={})
+
+
 def hierarchical_dispatch_time(
     network: NetworkModel,
     ranks: np.ndarray,
@@ -126,7 +132,37 @@ def hierarchical_dispatch_time(
     the hops are dependent, so the total dispatch time is their sum.  Built
     on :func:`hierarchical_alltoall_time`, which prices one inter-node and
     one intra-node stage.
+
+    Degenerate topologies collapse to the flat estimate instead of silently
+    dropping payload:
+
+    * a **single rank** moves nothing — all three estimates are zero;
+    * a **single node** has no leader hops — the dispatch payload
+      (``scatter_bytes_per_rank``, one row per assignment) moves in one flat
+      intra-node all-to-all, returned as the scatter estimate;
+    * **one GPU per node** makes gather/scatter self-copies (zero) and the
+      leader exchange *is* the flat all-to-all of the inter-node payload.
     """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    p = ranks.size
+    if p <= 1:
+        return _zero_estimate(), _zero_estimate(), _zero_estimate()
+    nodes = network.topology.nodes_of(ranks)
+    num_nodes = int(np.unique(nodes).size)
+    if num_nodes == 1:
+        # No inter-node tier exists: hierarchical dispatch degenerates to the
+        # flat exchange of the full per-assignment payload inside the node.
+        flat_est = uniform_alltoall_time(
+            network, ranks, scatter_bytes_per_rank / p, congestion=congestion
+        )
+        return _zero_estimate(), _zero_estimate(), flat_est
+    if num_nodes == p:
+        # Every rank is its own leader: the gather/scatter hops are on-device
+        # copies and hop B is exactly the flat inter-node all-to-all.
+        inter_est = uniform_alltoall_time(
+            network, ranks, inter_node_bytes_per_rank / p, congestion=congestion
+        )
+        return _zero_estimate(), inter_est, _zero_estimate()
     inter_est, gather_est = hierarchical_alltoall_time(
         network,
         ranks,

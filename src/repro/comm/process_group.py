@@ -41,23 +41,28 @@ class CommStats:
     events: list[CommEvent] = field(default_factory=list)
 
     def record(self, event: CommEvent) -> None:
+        """Append one collective's record."""
         self.events.append(event)
 
     @property
     def total_seconds(self) -> float:
+        """Modeled seconds across every recorded collective."""
         return sum(e.seconds for e in self.events)
 
     @property
     def total_bytes(self) -> float:
+        """Bytes moved across every recorded collective."""
         return sum(e.total_bytes for e in self.events)
 
     def seconds_by_op(self) -> dict[str, float]:
+        """Modeled seconds grouped by collective op name."""
         out: dict[str, float] = {}
         for e in self.events:
             out[e.op] = out.get(e.op, 0.0) + e.seconds
         return out
 
     def bytes_by_tier(self) -> dict[LinkTier, float]:
+        """Bytes moved grouped by the link tier they crossed."""
         out: dict[LinkTier, float] = {}
         for e in self.events:
             for tier, nbytes in e.bytes_by_tier.items():
@@ -65,6 +70,7 @@ class CommStats:
         return out
 
     def clear(self) -> None:
+        """Drop every recorded event (fresh accounting window)."""
         self.events.clear()
 
 

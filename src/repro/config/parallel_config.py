@@ -70,8 +70,10 @@ class ParallelConfig:
     dispatch:
         The MoE dispatch strategy: ``"flat"`` (single uneven all-to-all),
         ``"rbd"`` (two-stage redundancy-bypassing dispatch), or ``"hier"``
-        (two-hop hierarchical dispatch through per-node leaders).  See
-        :attr:`dispatch_kind` for how this reconciles with ``use_rbd``.
+        (two-hop hierarchical dispatch through per-node leaders).  ``None``
+        (the default) defers to the legacy ``use_rbd`` boolean; an explicit
+        value that contradicts ``use_rbd=True`` raises rather than silently
+        preferring one axis.  See :attr:`dispatch_kind`.
     placement:
         EP-first or DP-first rank placement.
     micro_batch_size:
@@ -93,7 +95,7 @@ class ParallelConfig:
     zero_stage: ZeroStage = ZeroStage.OPTIMIZER
     use_ssmb: bool = False
     use_rbd: bool = False
-    dispatch: str = "flat"
+    dispatch: str | None = None
     placement: PlacementOrder = PlacementOrder.DP_FIRST
     micro_batch_size: int = 1
     global_batch_size: int = 1024
@@ -120,13 +122,14 @@ class ParallelConfig:
                 f"global_batch_size={self.global_batch_size} must be divisible by "
                 f"dp_size={self.dp_size}"
             )
-        if self.dispatch not in DISPATCH_KINDS:
+        if self.dispatch is not None and self.dispatch not in DISPATCH_KINDS:
             raise ValueError(
                 f"dispatch={self.dispatch!r} must be one of {DISPATCH_KINDS}"
             )
-        if self.use_rbd and self.dispatch == "hier":
+        if self.use_rbd and self.dispatch not in (None, "rbd"):
             raise ValueError(
-                "use_rbd=True conflicts with dispatch='hier'; pick one strategy"
+                f"use_rbd=True conflicts with dispatch={self.dispatch!r}; "
+                "drop the legacy flag or pick dispatch='rbd'"
             )
 
     # ------------------------------------------------------------------
@@ -134,11 +137,12 @@ class ParallelConfig:
     def dispatch_kind(self) -> str:
         """The effective dispatch strategy, reconciling ``use_rbd``.
 
-        ``dispatch`` wins when set to a non-default value; otherwise the
-        legacy ``use_rbd=True`` still selects ``"rbd"`` so existing
-        configurations keep their behaviour.
+        An explicit ``dispatch`` value wins (a contradiction with
+        ``use_rbd=True`` has already been rejected at construction);
+        otherwise the legacy ``use_rbd=True`` still selects ``"rbd"`` so
+        existing configurations keep their behaviour.
         """
-        if self.dispatch != "flat":
+        if self.dispatch is not None:
             return self.dispatch
         return "rbd" if self.use_rbd else "flat"
 

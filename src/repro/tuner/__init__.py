@@ -1,0 +1,107 @@
+"""Offline auto-tuner: topology-aware parallel-plan search.
+
+Four PRs of mechanisms — the routing-plan engine, pluggable router
+policies, hierarchical dispatch, and the analytic cost/memory models —
+become a decision-making system here: given a cluster, a model, and a
+token budget, :func:`tune` enumerates every structurally valid
+:class:`~repro.config.parallel_config.ParallelConfig` (EP/TP/ZeRO ×
+dispatch ∈ {flat, rbd, hier} × router policy × capacity factor × placement
+order), prunes the ones that cannot fit in device memory, prices the
+survivors with the performance model (memoized, so the axes the models
+are insensitive to cost nothing), and returns a ranked
+:class:`~repro.tuner.report.TuningReport` with a Pareto frontier over
+step time, peak memory, and inter-node traffic.
+
+The winning plan is immediately runnable::
+
+    report = tune(paper_config("small"), frontier_system(16))
+    dispatcher = dispatcher_for_config(group, model.num_experts,
+                                       report.best_parallel_config())
+    policy = policy_for_config(report.best_model_config(),
+                               report.best_parallel_config())
+
+Entry points: :func:`tune` (library), ``python -m repro tune`` (CLI),
+``examples/autotune_plan.py`` (walkthrough), and
+``benchmarks/test_autotune.py`` (the acceptance benchmark).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config.hardware import SystemSpec
+from repro.config.model_config import MoEModelConfig
+from repro.tuner.calibration import Calibration, load_calibration
+from repro.tuner.evaluator import CandidateScore, EvaluatorStats, MemoizingEvaluator
+from repro.tuner.report import TuningReport, pareto_frontier
+from repro.tuner.space import SearchSpace, TuningCandidate
+from repro.xmoe.memory_model import SystemKind
+
+__all__ = [
+    "Calibration",
+    "CandidateScore",
+    "EvaluatorStats",
+    "MemoizingEvaluator",
+    "SearchSpace",
+    "TuningCandidate",
+    "TuningReport",
+    "load_calibration",
+    "pareto_frontier",
+    "tune",
+]
+
+
+def tune(
+    model: MoEModelConfig,
+    system: SystemSpec,
+    *,
+    world_size: int | None = None,
+    tokens_per_step: int | None = None,
+    space: SearchSpace | None = None,
+    kind: SystemKind = SystemKind.XMOE,
+    calibration: Calibration | None = None,
+) -> TuningReport:
+    """Search the parallel-plan space and return the ranked report.
+
+    ``space`` overrides the default :class:`~repro.tuner.space.SearchSpace`
+    axes entirely (its system/model/budget win); otherwise the space is
+    built from ``system``, ``model``, ``world_size`` (default: every GPU),
+    and ``tokens_per_step`` (default: 1024 sequences' worth, the paper's
+    global batch).  Pass a :class:`~repro.tuner.calibration.Calibration`
+    (for example from :func:`~repro.tuner.calibration.load_calibration`)
+    to fold measured micro-benchmark constants into the scoring.
+    """
+    if space is None:
+        if tokens_per_step is None:
+            tokens_per_step = 1024 * model.seq_length
+        space = SearchSpace(
+            system=system,
+            model=model,
+            tokens_per_step=tokens_per_step,
+            world_size=world_size,
+        )
+    evaluator = MemoizingEvaluator(
+        space.model, space.system, kind=kind, calibration=calibration
+    )
+    start = time.perf_counter()
+    scores = evaluator.evaluate_all(space.candidates())
+    feasible = [s for s in scores if s.feasible]
+    feasible.sort(key=lambda s: (s.step_seconds, s.peak_memory_gb))
+    elapsed = time.perf_counter() - start
+    return TuningReport(
+        model=space.model,
+        system_name=space.system.name,
+        world_size=space.world_size,
+        tokens_per_step=space.tokens_per_step,
+        ranked=feasible,
+        num_enumerated=len(scores),
+        num_infeasible=len(scores) - len(feasible),
+        pareto=pareto_frontier(feasible),
+        evaluator_stats=evaluator.stats.as_dict(),
+        calibration_source=(
+            evaluator.calibration.source
+            if not evaluator.calibration.is_identity
+            else None
+        ),
+        elapsed_seconds=elapsed,
+    )

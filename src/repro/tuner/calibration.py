@@ -1,0 +1,112 @@
+"""Calibration: scale the analytic models with measured micro-benchmarks.
+
+The performance model's absolute numbers come from analytic constants
+(kernel efficiencies, alpha-beta link parameters).  When the repo's own
+micro-benchmarks have been run on the current machine, their JSON records
+under ``benchmarks/results/`` carry *measured* seconds for the CPU-side
+plan-construction work that the analytic model otherwise ignores entirely.
+:func:`load_calibration` turns those records into a :class:`Calibration`
+the evaluator folds into each candidate's step time:
+
+* ``plan_build_seconds_per_assignment`` — measured dispatch-plan compile
+  cost per (token, expert) assignment, per dispatch kind, from
+  ``dispatch_plan_micro.json`` (the hierarchical planner reuses the RBD
+  figure until it has its own record).
+* ``time_scale`` — a global multiplier on the modeled step time, taken
+  from an optional ``model_time_scale`` key so a future measured-vs-modeled
+  comparison can be fed back in.
+
+Everything degrades gracefully: a missing, unreadable, or partial record
+yields :meth:`Calibration.identity`, so the tuner never *requires* a
+benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: default location of the micro-benchmark records (gitignored, machine-local).
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Measured corrections applied on top of the analytic cost models."""
+
+    plan_build_seconds_per_assignment: dict[str, float] = field(default_factory=dict)
+    time_scale: float = 1.0
+    source: str | None = None
+
+    @classmethod
+    def identity(cls) -> "Calibration":
+        """The no-op calibration (analytic model used as-is)."""
+        return cls()
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether this calibration changes nothing."""
+        return not self.plan_build_seconds_per_assignment and self.time_scale == 1.0
+
+    def plan_overhead_seconds(self, dispatch_kind: str, assignments: float) -> float:
+        """CPU-side plan-build seconds for one plan over ``assignments`` rows.
+
+        The hierarchical planner has no dedicated micro-benchmark record
+        yet; it falls back to the RBD figure (both build two-stage split
+        tables of comparable size), and anything unmeasured costs zero —
+        calibration only ever *adds* measured overhead, never invents it.
+        """
+        per_assignment = self.plan_build_seconds_per_assignment.get(dispatch_kind)
+        if per_assignment is None and dispatch_kind == "hier":
+            per_assignment = self.plan_build_seconds_per_assignment.get("rbd")
+        if per_assignment is None:
+            return 0.0
+        return per_assignment * assignments
+
+
+def _micro_record(path: Path) -> Calibration | None:
+    """Parse one ``dispatch_plan_micro.json``-shaped record, or ``None``."""
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    seconds = record.get("seconds", {})
+    workload = record.get("workload", {})
+    assignments = workload.get("assignments")
+    if not isinstance(assignments, (int, float)) or assignments <= 0:
+        return None
+    per_assignment: dict[str, float] = {}
+    for kind, key in (("flat", "flat_plan_build"), ("rbd", "rbd_plan_build")):
+        value = seconds.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            per_assignment[kind] = float(value) / float(assignments)
+    if not per_assignment:
+        return None
+    scale = record.get("model_time_scale", 1.0)
+    if not isinstance(scale, (int, float)) or scale <= 0:
+        scale = 1.0
+    return Calibration(
+        plan_build_seconds_per_assignment=per_assignment,
+        time_scale=float(scale),
+        source=str(path),
+    )
+
+
+def load_calibration(path: str | Path | None = None) -> Calibration:
+    """Load measured constants from ``benchmarks/results/`` (or a file).
+
+    ``path`` may point at a specific JSON record or at a directory of them
+    (the default: the repo's ``benchmarks/results/``).  Returns
+    :meth:`Calibration.identity` when nothing usable is found — the tuner
+    works uncalibrated everywhere the benchmarks have not been run.
+    """
+    root = Path(path) if path is not None else DEFAULT_RESULTS_DIR
+    if root.is_file():
+        return _micro_record(root) or Calibration.identity()
+    if root.is_dir():
+        for record_path in sorted(root.glob("*.json")):
+            calibration = _micro_record(record_path)
+            if calibration is not None:
+                return calibration
+    return Calibration.identity()

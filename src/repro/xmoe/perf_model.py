@@ -25,9 +25,13 @@ import numpy as np
 
 from repro.baselines.deepspeed_moe import compute_capacity
 from repro.baselines.tutel import TutelMoELayer
-from repro.cluster.network import NetworkModel
-from repro.cluster.topology import Topology
-from repro.comm.cost_model import hierarchical_alltoall_time, uniform_alltoall_time
+from repro.cluster.network import NetworkModel, TransferEstimate
+from repro.cluster.topology import LinkTier, Topology
+from repro.comm.cost_model import (
+    hierarchical_alltoall_time,
+    hierarchical_dispatch_time,
+    uniform_alltoall_time,
+)
 from repro.config.hardware import SystemSpec, frontier_system
 from repro.config.model_config import MoEModelConfig
 from repro.config.parallel_config import ParallelConfig
@@ -169,10 +173,99 @@ class MoEPerformanceModel:
             self.model.num_experts, self.model.top_k, self._ep_nodes()
         )
 
+    def _effective_dispatch(
+        self, use_rbd: bool | None = None, dispatch: str | None = None
+    ) -> str:
+        """Resolve the dispatch strategy a breakdown should price.
+
+        An explicit ``dispatch`` wins; the legacy ``use_rbd`` boolean maps to
+        flat/RBD; with neither, X-MoE follows ``parallel.dispatch_kind`` and
+        the padded baselines always run their own flat (even) exchange.
+        """
+        if dispatch is not None:
+            return dispatch
+        if use_rbd is not None:
+            return "rbd" if use_rbd else "flat"
+        if self.kind is SystemKind.XMOE:
+            return self.parallel.dispatch_kind
+        return "flat"
+
+    def _a2a_bytes_per_rank(self) -> float:
+        """Bytes each rank contributes to one dispatch all-to-all."""
+        model = self.model
+        tokens = self.tokens_per_device
+        row_bytes = model.hidden_size * model.dtype_bytes
+        if self.kind in (
+            SystemKind.DEEPSPEED_MOE,
+            SystemKind.DEEPSPEED_TED,
+            SystemKind.TUTEL,
+        ):
+            capacity = compute_capacity(
+                tokens, model.top_k, model.num_experts, model.capacity_factor
+            )
+            return model.num_experts * capacity * row_bytes * self._even_a2a_imbalance
+        return model.top_k * tokens * row_bytes
+
+    def dispatch_comm_estimates(
+        self, dispatch: str | None = None
+    ) -> list[TransferEstimate]:
+        """Per-hop network estimates of one MoE layer's dispatch exchange.
+
+        ``"flat"`` returns one estimate (the single uneven all-to-all),
+        ``"rbd"`` two (inter-node pilots, intra-node replicas), ``"hier"``
+        three (gather → leader exchange → scatter, priced by
+        :func:`~repro.comm.cost_model.hierarchical_dispatch_time`).  The
+        combine exchange reverses the same hops, so callers double the byte
+        totals for a full layer.  This is what the auto-tuner reads for its
+        per-candidate inter-node traffic accounting.
+        """
+        kind = self._effective_dispatch(dispatch=dispatch)
+        bytes_per_rank = self._a2a_bytes_per_rank()
+        ranks = self._ep_group_ranks()
+        if kind == "flat":
+            return [
+                uniform_alltoall_time(
+                    self.network, ranks, bytes_per_rank / max(1, ranks.size)
+                )
+            ]
+        red = self.redundancy()
+        if kind == "rbd":
+            inter_est, intra_est = hierarchical_alltoall_time(
+                self.network,
+                ranks,
+                bytes_per_rank * (1.0 - red),
+                bytes_per_rank * red,
+            )
+            return [inter_est, intra_est]
+        if kind == "hier":
+            # Hop A gathers the deduplicated rows (one per (token, dest-node)
+            # group — the same (1 - redundancy) fraction RBD sends across
+            # nodes), hop B exchanges them between leaders, and hop C fans
+            # one row per assignment out to the expert-owning ranks.
+            gather_est, inter_est, scatter_est = hierarchical_dispatch_time(
+                self.network,
+                ranks,
+                inter_node_bytes_per_rank=bytes_per_rank * (1.0 - red),
+                gather_bytes_per_rank=bytes_per_rank * (1.0 - red),
+                scatter_bytes_per_rank=bytes_per_rank,
+            )
+            return [gather_est, inter_est, scatter_est]
+        raise ValueError(f"unknown dispatch strategy {kind!r}")
+
+    def dispatch_inter_node_bytes(self, dispatch: str | None = None) -> float:
+        """Bytes one MoE layer's dispatch moves across node boundaries."""
+        return sum(
+            est.bytes_by_tier.get(LinkTier.INTER_NODE, 0.0)
+            + est.bytes_by_tier.get(LinkTier.CROSS_RACK, 0.0)
+            for est in self.dispatch_comm_estimates(dispatch)
+        )
+
     # ------------------------------------------------------------------
     # Per-layer breakdown (forward)
     # ------------------------------------------------------------------
-    def moe_layer_breakdown(self, *, use_rbd: bool | None = None) -> LayerTimeBreakdown:
+    def moe_layer_breakdown(
+        self, *, use_rbd: bool | None = None, dispatch: str | None = None
+    ) -> LayerTimeBreakdown:
         """Forward time breakdown of a single MoE layer."""
         model = self.model
         kind = self.kind
@@ -187,9 +280,7 @@ class MoEPerformanceModel:
         ep = self.parallel.ep_size
         experts_local = max(1, e // ep)
         capacity = compute_capacity(tokens, k, e, model.capacity_factor)
-        ranks = self._ep_group_ranks()
-        if use_rbd is None:
-            use_rbd = kind is SystemKind.XMOE and self.parallel.use_rbd
+        dispatch_kind = self._effective_dispatch(use_rbd, dispatch)
 
         padded = kind in (SystemKind.DEEPSPEED_MOE, SystemKind.DEEPSPEED_TED, SystemKind.TUTEL)
 
@@ -201,7 +292,6 @@ class MoEPerformanceModel:
             )
             dispatch_buffer = self.kernels.einsum_dispatch_time(tokens, e, capacity, h, dtype)
             combine_buffer = self.kernels.einsum_dispatch_time(tokens, e, capacity, h, dtype)
-            a2a_rows = e * capacity
         elif kind is SystemKind.TUTEL:
             # Tutel's sparse kernels avoid the dense mask but still operate
             # on capacity-padded buffers, fall back to partially-uncoalesced
@@ -215,30 +305,15 @@ class MoEPerformanceModel:
                 self.kernels.scatter_time(e * capacity, h, 4, coalesced=False)
                 / TutelMoELayer.kernel_efficiency_factor
             )
-            a2a_rows = e * capacity
         else:
             gate = self.kernels.gating_time(tokens, h, e, dtype)
             dispatch_buffer = self.kernels.gather_time(k * tokens, h, dtype)
             combine_buffer = self.kernels.scatter_time(k * tokens, h, dtype)
-            a2a_rows = k * tokens
 
         # --- all-to-alls ---------------------------------------------------
-        a2a_bytes_per_rank = a2a_rows * h * dtype
-        if padded:
-            a2a_bytes_per_rank *= self._even_a2a_imbalance
-        if use_rbd:
-            red = self.redundancy()
-            inter_bytes = a2a_bytes_per_rank * (1.0 - red)
-            intra_bytes = a2a_bytes_per_rank * red
-            inter_est, intra_est = hierarchical_alltoall_time(
-                self.network, ranks, inter_bytes, intra_bytes
-            )
-            dispatch_a2a = inter_est.seconds + intra_est.seconds
-        else:
-            est = uniform_alltoall_time(
-                self.network, ranks, a2a_bytes_per_rank / max(1, ranks.size)
-            )
-            dispatch_a2a = est.seconds
+        dispatch_a2a = sum(
+            est.seconds for est in self.dispatch_comm_estimates(dispatch_kind)
+        )
         combine_a2a = dispatch_a2a
         combine_bytes_factor = 2.0 if kind is SystemKind.TUTEL else 1.0
         combine_a2a *= combine_bytes_factor

@@ -31,6 +31,36 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "small" in out and "x-moe" in out
 
+    def test_tune_command(self, capsys):
+        assert main(["tune", "--model", "small", "--nodes", "2", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "auto-tune: small" in out
+        assert "best plan" in out
+        assert "dispatcher_for_config" in out
+        assert "rank" in out and "pareto" in out
+
+    def test_tune_command_dgx_with_token_budget(self, capsys):
+        assert (
+            main(
+                [
+                    "tune",
+                    "--model",
+                    "small",
+                    "--system",
+                    "dgx",
+                    "--nodes",
+                    "2",
+                    "--token-budget",
+                    str(512 * 2048),
+                    "--top",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dgx" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])

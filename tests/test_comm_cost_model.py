@@ -1,0 +1,122 @@
+"""Regression tests for the standalone communication cost helpers.
+
+The degenerate-topology behaviour of ``hierarchical_dispatch_time`` is what
+the auto-tuner's scoring relies on: a candidate with ``dispatch="hier"`` on
+a single-node or single-GPU-per-node cluster must collapse to the flat
+estimate instead of silently pricing its payload at zero (or dividing by
+zero while spreading it over nonexistent peers).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.network import NetworkModel
+from repro.cluster.topology import LinkTier, Topology
+from repro.comm.cost_model import (
+    hierarchical_dispatch_time,
+    uniform_alltoall_time,
+)
+from repro.config.hardware import GPUSpec, NodeSpec, SystemSpec, frontier_system
+
+BYTES = 4.0 * 2**20  # 4 MiB per rank for every hop
+
+
+def _network(system, num_ranks):
+    return NetworkModel(Topology(system, num_ranks), seed=0)
+
+
+def _single_gpu_node_system(num_nodes):
+    """A cluster whose nodes hold exactly one GPU (no intra-node tier)."""
+    gpu = GPUSpec(
+        name="one-per-node",
+        memory_bytes=32 * 2**30,
+        peak_tflops=100.0,
+        memory_bandwidth_gbps=1000.0,
+    )
+    node = NodeSpec(
+        name="single-gpu-node",
+        gpu=gpu,
+        gpus_per_node=1,
+        gpus_per_package=1,
+        intra_package_bw_gbps=200.0,
+        intra_node_bw_gbps=100.0,
+        inter_node_bw_gbps=25.0,
+    )
+    return SystemSpec(
+        name="one-gpu-per-node",
+        node=node,
+        num_nodes=num_nodes,
+        gpus_per_rack=max(num_nodes, 1),
+        cross_rack_bw_gbps=12.5,
+    )
+
+
+class TestHierarchicalDispatchDegenerate:
+    def test_single_rank_moves_nothing(self):
+        network = _network(frontier_system(num_nodes=1), 1)
+        gather, inter, scatter = hierarchical_dispatch_time(
+            network,
+            np.arange(1),
+            inter_node_bytes_per_rank=BYTES,
+            gather_bytes_per_rank=BYTES,
+            scatter_bytes_per_rank=BYTES,
+        )
+        for est in (gather, inter, scatter):
+            assert est.seconds == 0.0
+            assert est.bottleneck_tier is LinkTier.SELF
+
+    def test_single_node_collapses_to_flat_estimate(self):
+        """One node: no leader hops; the payload moves as one flat exchange."""
+        ranks = np.arange(8)
+        network = _network(frontier_system(num_nodes=1), 8)
+        gather, inter, scatter = hierarchical_dispatch_time(
+            network,
+            ranks,
+            inter_node_bytes_per_rank=BYTES,
+            gather_bytes_per_rank=BYTES,
+            scatter_bytes_per_rank=BYTES,
+        )
+        assert gather.seconds == 0.0
+        assert inter.seconds == 0.0
+        flat = uniform_alltoall_time(network, ranks, BYTES / ranks.size)
+        assert scatter.seconds == pytest.approx(flat.seconds)
+        assert math.isfinite(scatter.seconds) and scatter.seconds > 0.0
+        # The payload is priced, not dropped: intra-node bytes are accounted.
+        assert sum(scatter.bytes_by_tier.values()) > 0.0
+
+    def test_single_gpu_per_node_collapses_to_flat_inter_estimate(self):
+        """One GPU per node: gather/scatter are self-copies, hop B is flat."""
+        ranks = np.arange(8)
+        network = _network(_single_gpu_node_system(8), 8)
+        gather, inter, scatter = hierarchical_dispatch_time(
+            network,
+            ranks,
+            inter_node_bytes_per_rank=BYTES,
+            gather_bytes_per_rank=BYTES,
+            scatter_bytes_per_rank=BYTES,
+        )
+        assert gather.seconds == 0.0
+        assert scatter.seconds == 0.0
+        flat = uniform_alltoall_time(network, ranks, BYTES / ranks.size)
+        assert inter.seconds == pytest.approx(flat.seconds)
+        assert math.isfinite(inter.seconds) and inter.seconds > 0.0
+
+    def test_multi_node_multi_gpu_prices_all_three_hops(self):
+        """Non-degenerate topologies keep the three-hop decomposition."""
+        ranks = np.arange(16)  # 2 Frontier nodes x 8 GCDs
+        network = _network(frontier_system(num_nodes=2), 16)
+        gather, inter, scatter = hierarchical_dispatch_time(
+            network,
+            ranks,
+            inter_node_bytes_per_rank=BYTES,
+            gather_bytes_per_rank=BYTES,
+            scatter_bytes_per_rank=BYTES,
+        )
+        for est in (gather, inter, scatter):
+            assert math.isfinite(est.seconds) and est.seconds > 0.0
+        # Hop B crosses nodes; hops A/C stay inside them.
+        assert inter.bottleneck_tier is LinkTier.INTER_NODE
+        assert gather.bottleneck_tier in (LinkTier.INTRA_PACKAGE, LinkTier.INTRA_NODE)
+        assert scatter.bottleneck_tier in (LinkTier.INTRA_PACKAGE, LinkTier.INTRA_NODE)

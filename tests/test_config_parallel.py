@@ -59,3 +59,48 @@ class TestParallelConfig:
 
     def test_zero_stage_ordering(self):
         assert ZeroStage.NONE < ZeroStage.OPTIMIZER < ZeroStage.GRADIENTS < ZeroStage.PARAMS
+
+
+class TestDispatchReconciliation:
+    """The dispatch axis vs the legacy use_rbd boolean (edge cases)."""
+
+    def test_default_is_flat(self):
+        cfg = ParallelConfig(world_size=8, global_batch_size=8)
+        assert cfg.dispatch is None
+        assert cfg.dispatch_kind == "flat"
+
+    def test_legacy_use_rbd_selects_rbd(self):
+        cfg = ParallelConfig(world_size=8, use_rbd=True, global_batch_size=8)
+        assert cfg.dispatch_kind == "rbd"
+
+    def test_explicit_dispatch_wins_without_legacy_flag(self):
+        for kind in ("flat", "rbd", "hier"):
+            cfg = ParallelConfig(world_size=8, dispatch=kind, global_batch_size=8)
+            assert cfg.dispatch_kind == kind
+
+    def test_consistent_rbd_spellings_coexist(self):
+        cfg = ParallelConfig(
+            world_size=8, use_rbd=True, dispatch="rbd", global_batch_size=8
+        )
+        assert cfg.dispatch_kind == "rbd"
+
+    def test_explicit_flat_conflicting_with_use_rbd_raises(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            ParallelConfig(
+                world_size=8, use_rbd=True, dispatch="flat", global_batch_size=8
+            )
+
+    def test_explicit_hier_conflicting_with_use_rbd_raises(self):
+        with pytest.raises(ValueError, match="conflicts"):
+            ParallelConfig(
+                world_size=8, use_rbd=True, dispatch="hier", global_batch_size=8
+            )
+
+    def test_conflict_raises_through_with_overrides(self):
+        cfg = ParallelConfig(world_size=8, use_rbd=True, global_batch_size=8)
+        with pytest.raises(ValueError, match="conflicts"):
+            cfg.with_overrides(dispatch="hier")
+
+    def test_unknown_dispatch_rejected(self):
+        with pytest.raises(ValueError, match="must be one of"):
+            ParallelConfig(world_size=8, dispatch="mesh", global_batch_size=8)

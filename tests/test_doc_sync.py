@@ -25,6 +25,7 @@ def test_docs_are_in_sync():
     errors: list[str] = []
     checker.check_experiment_index(errors)
     checker.check_verify_command(errors)
+    checker.check_cli_docs(errors)
     assert not errors, "doc-sync problems:\n" + "\n".join(errors)
 
 
@@ -33,3 +34,12 @@ def test_roadmap_declares_tier1_command():
     command = checker.tier1_command()
     assert command is not None
     assert "pytest" in command
+
+
+def test_cli_subcommands_discovered():
+    """The source scan finds the real subcommand set (incl. tune)."""
+    checker = load_checker()
+    commands = checker.cli_subcommands()
+    assert "tune" in commands
+    assert "fig9" in commands
+    assert len(commands) >= 6

@@ -175,3 +175,63 @@ class TestTrainability:
         mm = MoEMemoryModel(model, parallel)
         assert mm.tokens_per_device(SystemKind.XMOE) == model.seq_length // 4
         assert mm.tokens_per_device(SystemKind.DEEPSPEED_MOE) == model.seq_length
+
+
+class TestInfeasibleConfigRejection:
+    """The exact OOM predicate the auto-tuner's pruning relies on."""
+
+    def test_oversubscribed_config_rejected(self):
+        """The Super model on few devices at EP=8 cannot fit in 64 GB."""
+        model = paper_config("super")
+        parallel = ParallelConfig(
+            world_size=16, ep_size=8, micro_batch_size=1, global_batch_size=1024
+        )
+        mm = MoEMemoryModel(model, parallel)
+        report = mm.report(SystemKind.XMOE)
+        assert not report.fits
+        assert not mm.fits(SystemKind.XMOE)
+        assert report.headroom_gb < 0
+        assert report.total_bytes > report.capacity_bytes
+
+    def test_fits_is_exactly_capacity_comparison(self):
+        """``fits`` is ``total <= capacity`` — no slack, no fudge factor."""
+        model = paper_config("large")
+        parallel = ParallelConfig(
+            world_size=256, ep_size=64, micro_batch_size=1, global_batch_size=1024
+        )
+        report = MoEMemoryModel(model, parallel).report(SystemKind.XMOE)
+        assert report.fits == (report.total_bytes <= report.capacity_bytes)
+        assert report.headroom_gb == pytest.approx(
+            (report.capacity_bytes - report.total_bytes) / 2**30
+        )
+
+    def test_infeasibility_monotone_in_micro_batch(self):
+        """Growing the micro batch never turns an OOM config feasible."""
+        model = paper_config("large")
+        previous_total = 0.0
+        for micro_batch in (1, 2, 4, 8):
+            parallel = ParallelConfig(
+                world_size=256,
+                ep_size=64,
+                micro_batch_size=micro_batch,
+                global_batch_size=1024,
+            )
+            report = MoEMemoryModel(model, parallel).report(SystemKind.XMOE)
+            assert report.total_bytes > previous_total
+            previous_total = report.total_bytes
+
+    def test_padded_pipeline_rejected_where_padding_free_fits(self):
+        """Fig. 9's verdict pattern: DeepSpeed-MoE OOMs where X-MoE trains."""
+        model = paper_config("large")
+        parallel = ParallelConfig(
+            world_size=256,
+            ep_size=32,
+            tp_size=2,
+            zero_stage=ZeroStage.GRADIENTS,
+            use_ssmb=True,
+            micro_batch_size=1,
+            global_batch_size=1024,
+        )
+        mm = MoEMemoryModel(model, parallel)
+        assert mm.fits(SystemKind.XMOE)
+        assert not mm.fits(SystemKind.DEEPSPEED_MOE)

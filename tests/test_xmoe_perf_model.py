@@ -25,6 +25,53 @@ def make_perf(model_name, kind, *, ep=64, tp=1, world=256, use_rbd=False, use_ss
     return MoEPerformanceModel(model, parallel, system, kind)
 
 
+class TestDispatchPricing:
+    """dispatch_comm_estimates prices all three strategies per hop."""
+
+    def test_hop_counts_per_strategy(self):
+        perf = make_perf("small", SystemKind.XMOE, ep=64)
+        assert len(perf.dispatch_comm_estimates("flat")) == 1
+        assert len(perf.dispatch_comm_estimates("rbd")) == 2
+        assert len(perf.dispatch_comm_estimates("hier")) == 3
+
+    def test_unknown_strategy_rejected(self):
+        perf = make_perf("small", SystemKind.XMOE, ep=64)
+        with pytest.raises(ValueError, match="unknown dispatch"):
+            perf.dispatch_comm_estimates("mesh")
+
+    def test_rbd_and_hier_cut_inter_node_bytes_vs_flat(self):
+        """Both redundancy-aware strategies move fewer bytes across nodes."""
+        perf = make_perf("small", SystemKind.XMOE, ep=64)
+        flat = perf.dispatch_inter_node_bytes("flat")
+        rbd = perf.dispatch_inter_node_bytes("rbd")
+        hier = perf.dispatch_inter_node_bytes("hier")
+        assert flat > 0
+        assert rbd < flat and hier < flat
+
+    def test_hier_config_prices_hier_in_breakdown(self):
+        """A dispatch='hier' ParallelConfig drives the hier cost path."""
+        model = paper_config("small")
+        base = ParallelConfig(
+            world_size=256, ep_size=64, micro_batch_size=1, global_batch_size=1024
+        )
+        flat_perf = MoEPerformanceModel(model, base, SYS256, SystemKind.XMOE)
+        hier_perf = MoEPerformanceModel(
+            model, base.with_overrides(dispatch="hier"), SYS256, SystemKind.XMOE
+        )
+        flat_a2a = flat_perf.moe_layer_breakdown().dispatch_a2a
+        hier_a2a = hier_perf.moe_layer_breakdown().dispatch_a2a
+        assert hier_a2a != flat_a2a
+        assert hier_a2a == pytest.approx(
+            sum(e.seconds for e in hier_perf.dispatch_comm_estimates("hier"))
+        )
+
+    def test_explicit_use_rbd_argument_still_wins(self):
+        perf = make_perf("small", SystemKind.XMOE, ep=64, use_rbd=True)
+        flat_like = perf.moe_layer_breakdown(use_rbd=False)
+        default = perf.moe_layer_breakdown()
+        assert default.dispatch_a2a < flat_like.dispatch_a2a
+
+
 class TestLayerBreakdown:
     def test_fig11_xmoe_faster_per_layer(self):
         """X-MoE's forward MoE-layer time is well below DeepSpeed-MoE's."""
