@@ -13,7 +13,8 @@ Assertions (the acceptance criteria of the tuner subsystem):
 * the #1 plan strictly dominates at least the worst feasible candidate on
   modeled step time;
 * the winning plan is runnable end to end through the functional substrate
-  via ``dispatcher_for_config`` + ``policy_for_config``.
+  via ``dispatcher_for_config`` + ``policy_for_config``, driven by the
+  shared rank-batched :class:`repro.runtime.StepRuntime`.
 """
 
 import time
@@ -24,6 +25,7 @@ from conftest import print_table
 
 from repro.comm import CommWorld
 from repro.config import frontier_system, paper_config
+from repro.runtime import StepRuntime
 from repro.tuner import tune
 from repro.xmoe import dispatcher_for_config, policy_for_config
 
@@ -81,13 +83,9 @@ def test_autotune_large_on_frontier():
         np.random.default_rng(r).normal(size=(tokens_per_rank, hidden))
         for r in range(ep)
     ]
-    pfts = [policy.route(t, step=0).to_pft() for t in tokens]
-    expert_inputs, dispatch_plan = dispatcher.dispatch(tokens, pfts)
-    outputs = dispatcher.combine(
-        [buf.copy() for buf in expert_inputs], dispatch_plan, [tokens_per_rank] * ep
-    )
-    assert dispatch_plan.kind == plan.dispatch_kind
-    assert all(o.shape == (tokens_per_rank, hidden) for o in outputs)
+    result = StepRuntime(policy, dispatcher).run_step(tokens, step=0)
+    assert result.plan.kind == plan.dispatch_kind
+    assert all(o.shape == (tokens_per_rank, hidden) for o in result.outputs)
 
     # ---- report ------------------------------------------------------
     rows = report.table_rows(8)

@@ -10,7 +10,9 @@ inter-node traffic).
 The winning plan is not just a table row: its ``ParallelConfig`` feeds
 ``dispatcher_for_config`` and its model override feeds
 ``policy_for_config``, so the second half of this script routes real
-tokens through the tuned configuration on the simulated cluster.
+tokens through the tuned configuration on the simulated cluster — one
+``StepRuntime.run_step`` call drives the whole rank-batched
+route/dispatch/combine pipeline.
 
 Run:  PYTHONPATH=src python examples/autotune_plan.py [--model large]
 """
@@ -21,6 +23,7 @@ import numpy as np
 
 from repro.comm import CommWorld
 from repro.config import frontier_system, paper_config
+from repro.runtime import StepRuntime
 from repro.tuner import load_calibration, tune
 from repro.xmoe import dispatcher_for_config, policy_for_config
 
@@ -75,24 +78,16 @@ def main() -> None:
         tuned_model.scaled(hidden_size=hidden), plan, rng=np.random.default_rng(0)
     )
 
-    tokens, pfts = [], []
-    for rank in range(plan.ep_size):
-        hidden_states = np.random.default_rng(rank).normal(
-            size=(tokens_per_rank, hidden)
-        )
-        tokens.append(hidden_states)
-        pfts.append(policy.route(hidden_states, step=0).to_pft())
-    expert_inputs, dispatch_plan = dispatcher.dispatch(tokens, pfts)
-    outputs = dispatcher.combine(
-        [buf.copy() for buf in expert_inputs],
-        dispatch_plan,
-        [tokens_per_rank] * plan.ep_size,
-    )
-    routed = sum(int(buf.shape[0]) for buf in expert_inputs)
+    tokens = [
+        np.random.default_rng(rank).normal(size=(tokens_per_rank, hidden))
+        for rank in range(plan.ep_size)
+    ]
+    result = StepRuntime(policy, dispatcher).run_step(tokens, step=0)
+    routed = sum(int(buf.shape[0]) for buf in result.expert_inputs)
     print(
         f"  dispatched {routed} rows over {plan.ep_size} ranks "
-        f"({dispatch_plan.kind} plan), combine returned "
-        f"{sum(o.shape[0] for o in outputs)} token rows — plan is live."
+        f"({result.plan.kind} plan), combine returned "
+        f"{sum(o.shape[0] for o in result.outputs)} token rows — plan is live."
     )
 
 

@@ -4,7 +4,10 @@ Trains the same tiny MoE transformer twice on the same synthetic data:
 once with the DeepSpeed-MoE style zero-padded pipeline (negative-score
 token dropping) and once with X-MoE's padding-free pipeline (capacity-only
 dropping), then prints the two loss curves side by side and validates the
-trained router's dispatch traffic over the simulated cluster.
+trained router's dispatch traffic over the simulated cluster — the
+validation executes through the shared rank-batched
+:class:`repro.runtime.StepRuntime` (via ``run_routing_validation``), not a
+per-rank routing loop.
 
 Flags
 -----

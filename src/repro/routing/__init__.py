@@ -12,7 +12,11 @@ front of their experts", split into two orthogonal layers:
     capacity-factor dropping, noisy top-k with z-loss, and expert-choice
     routing (experts pick tokens; load balance by construction).  Policies
     are the *experimental axis*: swap one in via ``ModelConfig.router``,
-    `make_policy`, or the ``--router`` CLI flag.
+    `make_policy`, or the ``--router`` CLI flag.  Every policy also has a
+    rank-batched path (``route_batch`` / ``decide_batch``): one stacked
+    projection + vectorized selection for a whole EP group, bit-identical
+    to per-rank ``route`` calls — the hot path of
+    :class:`repro.runtime.StepRuntime`.
 
 **Planners + engine — how the decision is executed**
     (:mod:`repro.routing.plan`, :mod:`repro.routing.planner`,

@@ -27,6 +27,20 @@ generator from ``(seed, step)`` on each :meth:`RouterPolicy.route` call, so
 the same ``(seed, step)`` always produces the same decision and there is no
 hidden RNG state mutating across calls.
 
+Rank-batched routing
+--------------------
+:meth:`RouterPolicy.route_batch` routes *every rank's* batch in one call:
+one stacked ``(num_ranks * tokens, hidden)`` projection, one softmax, one
+vectorized top-k — instead of ``num_ranks`` separate :meth:`route` calls.
+Each policy's :meth:`decide_batch` vectorizes its selection across the rank
+axis while drawing exploration noise from the *same* fresh ``(seed, step)``
+stream a per-rank :meth:`route` call would use, so the per-rank decisions
+are **bit-identical** to the sequential loop (property-tested in
+``tests/test_step_runtime.py``).  :meth:`RoutingDecision.to_pfts` is the
+matching batched PFT compiler: all ranks' PFTs from the stacked assignment
+arrays in one argsort/bincount pass.  The
+:class:`~repro.runtime.StepRuntime` drives both.
+
 Dropped tokens and bit-exact combine
 ------------------------------------
 A policy marks dropped assignments in ``RoutingDecision.dropped``;
@@ -50,11 +64,103 @@ from repro.routing.telemetry import load_balance_entropy
 from repro.tensor.ops import topk as _topk
 
 
-def _softmax(logits: np.ndarray) -> np.ndarray:
-    """Numerically stable softmax, bit-identical to ``repro.tensor.ops.softmax``."""
+def _softmax(logits: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable softmax, bit-identical to ``repro.tensor.ops.softmax``.
+
+    ``out`` optionally receives the result (the batched path streams blocks
+    into a preallocated stacked array); the values are identical either way.
+    """
     shifted = logits - logits.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=-1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    denom = shifted.sum(axis=-1, keepdims=True)
+    if out is None:
+        shifted /= denom
+        return shifted
+    np.divide(shifted, denom, out=out)
+    return out
+
+
+#: per-block working-set budget for the stacked route path: large enough to
+#: amortize numpy call overhead, small enough that one block's softmax /
+#: top-k temporaries stay cache-resident instead of streaming through DRAM.
+_ROUTE_BLOCK_BYTES = 1 << 20
+
+
+def _row_blocks(num_rows: int, num_cols: int):
+    """Split ``num_rows`` into cache-sized blocks of ``num_cols``-wide rows.
+
+    Every op on the stacked route path is row-local, so evaluating it block
+    by block produces bit-identical results while keeping each block's
+    temporaries in cache.
+    """
+    rows = max(1, _ROUTE_BLOCK_BYTES // max(1, num_cols * 8))
+    for start in range(0, num_rows, rows):
+        yield start, min(num_rows, start + rows)
+
+
+def _stacked_softmax(flat_logits: np.ndarray) -> np.ndarray:
+    """Softmax over stacked ``[N, E]`` logits, streamed block by block.
+
+    Row-local, so the result equals one whole-array :func:`_softmax` call
+    bit for bit while each block's temporaries stay cache-resident.
+    """
+    n, e = flat_logits.shape
+    probs = np.empty_like(flat_logits)
+    for b0, b1 in _row_blocks(n, e):
+        _softmax(flat_logits[b0:b1], out=probs[b0:b1])
+    return probs
+
+
+def _stacked_softmax_topk(
+    flat_logits: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Softmax + top-k over stacked ``[N, E]`` logits, block by block.
+
+    Returns ``(probs, top_scores, top_experts)`` exactly as computing the
+    whole array at once would — both ops are row-local — while each block's
+    temporaries stay cache-resident, which is where the batched path's
+    speedup over the per-rank loop comes from at large rank counts.
+    """
+    n, e = flat_logits.shape
+    probs = np.empty_like(flat_logits)
+    top_scores = np.empty((n, k), dtype=np.float64)
+    top_experts = np.empty((n, k), dtype=np.int64)
+    scratch: np.ndarray | None = None
+    for b0, b1 in _row_blocks(n, e):
+        block = _softmax(flat_logits[b0:b1], out=probs[b0:b1])
+        # Inlined ``repro.tensor.ops.topk`` (same ops on the same values,
+        # so the selection is bit-identical), with the negation running in
+        # a reused scratch buffer instead of a fresh temporary per block.
+        if scratch is None or scratch.shape != block.shape:
+            scratch = np.empty_like(block)
+        np.negative(block, out=scratch)
+        idx = np.argpartition(scratch, kth=k - 1, axis=-1)[:, :k]
+        part = np.take_along_axis(block, idx, axis=-1)
+        order = np.argsort(-part, axis=-1, kind="stable")
+        top_experts[b0:b1] = np.take_along_axis(idx, order, axis=-1)
+        top_scores[b0:b1] = np.take_along_axis(part, order, axis=-1)
+    return probs, top_scores, top_experts
+
+
+def _segmented_capacity_drop(
+    segment_key: np.ndarray, scores: np.ndarray, capacity: int, num_segments: int
+) -> np.ndarray:
+    """Drop mask keeping only each segment's ``capacity`` best scores.
+
+    Segments are ranked by descending score with ties broken by original
+    position (stable sort), the same rule PFT construction applies.  Used
+    with per-expert segments by :class:`SwitchTop1Policy` and with
+    per-(rank, expert) composite segments by its rank-batched path — the
+    composite keying makes the batched mask bit-identical to per-rank calls.
+    """
+    order = np.lexsort((-scores, segment_key))
+    sorted_key = segment_key[order]
+    counts = np.bincount(sorted_key, minlength=num_segments)
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    rank_in_segment = np.arange(sorted_key.size) - starts[sorted_key]
+    drop = np.zeros(segment_key.size, dtype=bool)
+    drop[order] = rank_in_segment >= capacity
+    return drop
 
 
 def _z_loss(logits: np.ndarray) -> float:
@@ -64,6 +170,45 @@ def _z_loss(logits: np.ndarray) -> float:
     shifted = logits - logits.max(axis=-1, keepdims=True)
     lse = np.log(np.exp(shifted).sum(axis=-1)) + logits.max(axis=-1)
     return float(np.mean(lse**2))
+
+
+def _batched_z_loss(logits: np.ndarray) -> np.ndarray:
+    """Per-rank z-loss over stacked ``[R, S, E]`` logits, one vector pass.
+
+    Row-local like everything else on the batched path: each rank's entry
+    equals ``_z_loss(logits[r])`` bit for bit.
+    """
+    r = logits.shape[0]
+    if logits.size == 0:
+        return np.zeros(r)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=-1)) + logits.max(axis=-1)
+    return np.mean(lse**2, axis=-1)
+
+
+def _batched_aux_loss(
+    probs: np.ndarray, expert_ids: np.ndarray, coef: float
+) -> np.ndarray:
+    """Per-rank Switch balance loss over stacked arrays, one bincount pass.
+
+    ``probs`` is ``[R, S, E]`` and ``expert_ids`` any ``[R, ...]`` integer
+    selection; the per-expert counts of all ranks come from a single
+    bincount over composite ``rank * E + expert`` keys.  Each entry equals
+    ``_PolicyBase._aux_loss(probs[r], expert_ids[r])`` bit for bit.
+    """
+    r, s, e = probs.shape
+    offsets = np.arange(r, dtype=np.int64) * e
+    counts = (
+        np.bincount(
+            (expert_ids.reshape(r, -1) + offsets[:, None]).reshape(-1),
+            minlength=r * e,
+        )
+        .reshape(r, e)
+        .astype(np.float64)
+    )
+    fraction = counts / max(1, expert_ids[0].size)
+    mean_probs = probs.mean(axis=1)
+    return (mean_probs * fraction).sum(axis=1) * (coef * e)
 
 
 # ----------------------------------------------------------------------
@@ -185,6 +330,49 @@ class RoutingDecision:
             self.num_tokens,
         )
 
+    @staticmethod
+    def to_pfts(
+        decisions: "list[RoutingDecision]", max_token_count: int | None = None
+    ) -> list:
+        """Compile every rank's decision into PFTs in one batched pass.
+
+        The rank-batched counterpart of :meth:`to_pft`: the surviving
+        (policy-kept) assignments of all ranks are stacked — tagged with
+        their rank id — and handed to
+        :func:`repro.xmoe.pft.build_pft_flat_batched`, which applies the
+        capacity rule and the canonical (expert, token) ordering for every
+        rank in one argsort/bincount pass.  Output is bit-identical to
+        calling :meth:`to_pft` rank by rank.
+        """
+        from repro.xmoe.pft import build_pft_flat_batched
+
+        if not decisions:
+            return []
+        num_experts = decisions[0].num_experts
+        for decision in decisions:
+            if decision.num_experts != num_experts:
+                raise ValueError("all decisions must share num_experts")
+        # Stack first, filter the policy-dropped assignments once globally
+        # (skipping the filter entirely when no policy drops exist).
+        counts = np.array([d.token_ids.size for d in decisions])
+        rank_ids = np.repeat(np.arange(len(decisions), dtype=np.int64), counts)
+        token_ids = np.concatenate([d.token_ids for d in decisions])
+        expert_ids = np.concatenate([d.expert_ids for d in decisions])
+        scores = np.concatenate([d.scores for d in decisions])
+        if any(d.dropped.any() for d in decisions):
+            keep = ~np.concatenate([d.dropped for d in decisions])
+            rank_ids, token_ids = rank_ids[keep], token_ids[keep]
+            expert_ids, scores = expert_ids[keep], scores[keep]
+        return build_pft_flat_batched(
+            max_token_count if max_token_count is not None else 2**62,
+            rank_ids,
+            token_ids,
+            expert_ids,
+            scores,
+            num_experts,
+            [d.num_tokens for d in decisions],
+        )
+
     def validate(self) -> None:
         """Internal-consistency checks (used by the test suite)."""
         a = self.token_ids.size
@@ -231,6 +419,22 @@ class RouterPolicy(Protocol):
         ``logits`` so noise-free policies skip recomputing it; noisy
         policies ignore it (their softmax runs over perturbed logits).
         """
+        ...
+
+    def route_batch(
+        self,
+        per_rank_hidden: list[np.ndarray],
+        step: int | None = None,
+        *,
+        workspace=None,
+    ) -> list[RoutingDecision]:
+        """Route every rank's ``[S, H]`` batch with one stacked projection."""
+        ...
+
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Route from stacked ``[R, S, E]`` logits, one decision per rank."""
         ...
 
 
@@ -290,6 +494,131 @@ class _PolicyBase:
     ) -> RoutingDecision:
         """Route from precomputed logits (implemented per policy)."""
         raise NotImplementedError
+
+    # -- rank-batched path ---------------------------------------------
+    def route_batch(
+        self,
+        per_rank_hidden: list[np.ndarray],
+        step: int | None = None,
+        *,
+        workspace=None,
+    ) -> list[RoutingDecision]:
+        """Route every rank's batch through one stacked router projection.
+
+        The hot path of the :class:`~repro.runtime.StepRuntime`: the
+        per-rank ``[S, H]`` batches are stacked into one
+        ``(num_ranks * S, hidden)`` block and projected with a single
+        matmul, then :meth:`decide_batch` runs the policy's selection
+        vectorized across the rank axis.  Output is bit-identical to
+        calling :meth:`route` once per rank.
+
+        ``workspace`` optionally supplies reusable stacked buffers (any
+        object with ``stacked_hidden(rows, cols)`` / ``stacked_logits(rows,
+        cols)`` — see :class:`repro.runtime.StepWorkspace`); without it the
+        stacked arrays are freshly allocated.  Ranks with unequal token
+        counts fall back to the sequential per-rank loop (the stacked
+        kernels need a rectangular block).
+        """
+        if self.weight is None:
+            raise ValueError(
+                f"{type(self).__name__} has no router weight; construct it with "
+                "weight=/rng= or drive it from a gate's logits via decide()"
+            )
+        arrays = [np.asarray(h, dtype=np.float64) for h in per_rank_hidden]
+        for hidden in arrays:
+            if hidden.ndim != 2 or hidden.shape[1] != self.hidden_size:
+                raise ValueError(
+                    f"expected [S, {self.hidden_size}] hidden, got {hidden.shape}"
+                )
+        if not arrays:
+            return []
+        tokens_per_rank = arrays[0].shape[0]
+        if any(h.shape[0] != tokens_per_rank for h in arrays):
+            return [self.route(h, step=step) for h in arrays]
+        num_ranks, rows = len(arrays), len(arrays) * tokens_per_rank
+        # One np.matmul over the stacked [R, S, H] block.  The batched axes
+        # keep each rank's projection on the exact (S, H) @ (H, E) kernel a
+        # per-rank route() call hits, so the logits are bit-identical on any
+        # BLAS (a flattened (R*S, H) GEMM may pick a different kernel for
+        # degenerate shapes and drift in the last ulp).
+        if workspace is not None:
+            stacked = workspace.stacked_hidden(rows, self.hidden_size)
+            np.concatenate(arrays, axis=0, out=stacked)
+            out = workspace.stacked_logits(rows, self.num_experts)
+        else:
+            stacked = np.concatenate(arrays, axis=0)
+            out = np.empty((rows, self.num_experts))
+        logits = np.matmul(
+            stacked.reshape(num_ranks, tokens_per_rank, self.hidden_size),
+            self.weight,
+            out=out.reshape(num_ranks, tokens_per_rank, self.num_experts),
+        )
+        return self.decide_batch(logits, step=step)
+
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Route from stacked ``[R, S, E]`` logits, one decision per rank.
+
+        The base implementation is the sequential fallback (one
+        :meth:`decide` per rank); the shipped policies override it with a
+        vectorized selection whose output is bit-identical.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 3:
+            raise ValueError(f"expected [R, S, E] logits, got {logits.shape}")
+        return [self.decide(logits[r], step=step) for r in range(logits.shape[0])]
+
+    def _from_topk_batch(
+        self,
+        probs: np.ndarray,
+        top_experts: np.ndarray,
+        top_scores: np.ndarray,
+        drop_mask: np.ndarray,
+        z_logits: np.ndarray | None,
+        r: int,
+        s: int,
+    ) -> list[RoutingDecision]:
+        """Per-rank decisions from stacked ``[R*S, k]`` top-k arrays.
+
+        The batched counterpart of :meth:`RoutingDecision.from_topk`: one
+        dtype conversion, one composite-key bincount (aux losses), and one
+        vectorized z-loss cover every rank, so assembling R decisions costs
+        R dataclass constructions — not R rounds of numpy small-ops.  The
+        per-rank arrays are views into the stacked ones.
+        """
+        e, k = self.num_experts, top_experts.shape[-1]
+        probs3 = probs.reshape(r, s, e)
+        experts3 = top_experts.reshape(r, s, k)
+        scores3 = top_scores.reshape(r, s, k)
+        drops3 = drop_mask.reshape(r, s, k)
+        experts_flat = top_experts.reshape(r, s * k).astype(np.int64, copy=False)
+        scores_flat = top_scores.reshape(r, s * k).astype(np.float64, copy=False)
+        drops_flat = drop_mask.reshape(r, s * k).astype(bool, copy=False)
+        # One (read-only) token-id pattern shared by every rank's view.
+        token_ids = np.repeat(np.arange(s, dtype=np.int64), k)
+        aux = _batched_aux_loss(probs3, experts3, self.aux_loss_coef)
+        if self.z_loss_coef and z_logits is not None:
+            z = self.z_loss_coef * _batched_z_loss(z_logits)
+        else:
+            z = np.zeros(r)
+        return [
+            RoutingDecision(
+                num_tokens=s,
+                num_experts=e,
+                token_ids=token_ids,
+                expert_ids=experts_flat[i],
+                scores=scores_flat[i],
+                dropped=drops_flat[i],
+                probs=probs3[i],
+                aux_loss=float(aux[i]),
+                z_loss=float(z[i]),
+                top_experts=experts3[i],
+                top_scores=scores3[i],
+                drop_mask=drops3[i],
+            )
+            for i in range(r)
+        ]
 
     def _scaled_z_loss(self, logits: np.ndarray) -> float:
         """``z_loss_coef * z_loss``, skipping the logsumexp when coef is 0."""
@@ -364,6 +693,24 @@ class SoftmaxTopKPolicy(_PolicyBase):
             z_loss=self._scaled_z_loss(logits),
         )
 
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Stacked softmax + top-k over all ranks' logits at once."""
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 3:
+            raise ValueError(f"expected [R, S, E] logits, got {logits.shape}")
+        r, s, e = logits.shape
+        flat = logits.reshape(r * s, e)
+        probs, top_scores, top_experts = _stacked_softmax_topk(flat, self.top_k)
+        if self.score_threshold:
+            drop_mask = np.take_along_axis(flat, top_experts, axis=-1) < 0.0
+        else:
+            drop_mask = np.zeros_like(top_experts, dtype=bool)
+        return self._from_topk_batch(
+            probs, top_experts, top_scores, drop_mask, logits, r, s
+        )
+
 
 class SwitchTop1Policy(_PolicyBase):
     """Switch-Transformer top-1 routing with exploration noise and capacity.
@@ -418,16 +765,9 @@ class SwitchTop1Policy(_PolicyBase):
         # by score (the same rule PFT construction applies) and drop the
         # overflow beyond ceil(c * S / E).
         capacity = max(1, math.ceil(self.capacity_factor * s / self.num_experts))
-        experts_flat = top_experts.reshape(-1)
-        scores_flat = top_scores.reshape(-1)
-        order = np.lexsort((-scores_flat, experts_flat))
-        sorted_experts = experts_flat[order]
-        counts = np.bincount(sorted_experts, minlength=self.num_experts)
-        starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
-        rank_in_expert = np.arange(sorted_experts.size) - starts[sorted_experts]
-        drop_sorted = rank_in_expert >= capacity
-        drop_mask = np.zeros(experts_flat.size, dtype=bool)
-        drop_mask[order] = drop_sorted
+        drop_mask = _segmented_capacity_drop(
+            top_experts.reshape(-1), top_scores.reshape(-1), capacity, self.num_experts
+        )
 
         return RoutingDecision.from_topk(
             top_experts,
@@ -437,6 +777,39 @@ class SwitchTop1Policy(_PolicyBase):
             probs=probs,
             aux_loss=self._aux_loss(probs, top_experts),
             z_loss=self._scaled_z_loss(noisy),
+        )
+
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Stacked noisy top-1 with per-(rank, expert) capacity dropping.
+
+        The exploration noise is drawn once from the fresh ``(seed, step)``
+        generator a per-rank :meth:`decide` call would create and broadcast
+        across ranks — exactly the values every rank sees in the sequential
+        loop.  Capacity dropping runs over composite ``rank * E + expert``
+        segments so one lexsort/bincount pass covers every rank.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 3:
+            raise ValueError(f"expected [R, S, E] logits, got {logits.shape}")
+        r, s, e = logits.shape
+        noise = 1.0 - self.eps + self._rng(step).random((s, e)) * (2.0 * self.eps)
+        noisy = logits * noise[None, :, :]
+        probs, top_scores, top_experts = _stacked_softmax_topk(
+            noisy.reshape(r * s, e), 1
+        )
+
+        capacity = max(1, math.ceil(self.capacity_factor * s / self.num_experts))
+        segment = (
+            np.repeat(np.arange(r, dtype=np.int64), s) * self.num_experts
+            + top_experts.reshape(-1)
+        )
+        drop_mask = _segmented_capacity_drop(
+            segment, top_scores.reshape(-1), capacity, r * self.num_experts
+        )
+        return self._from_topk_batch(
+            probs, top_experts, top_scores, drop_mask.reshape(r * s, 1), noisy, r, s
         )
 
 
@@ -491,6 +864,33 @@ class NoisyTopKPolicy(_PolicyBase):
             probs=probs,
             aux_loss=self._aux_loss(probs, top_experts),
             z_loss=self._scaled_z_loss(noisy),
+        )
+
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Stacked noisy top-k: one perturbation draw, one top-k, all ranks.
+
+        As in the sequential loop, every rank's additive noise comes from a
+        fresh ``(seed, step)`` generator — drawn once here and broadcast.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 3:
+            raise ValueError(f"expected [R, S, E] logits, got {logits.shape}")
+        r, s, e = logits.shape
+        noise = self._rng(step).normal(0.0, self.noise_std, size=(s, e))
+        noisy = logits + noise[None, :, :]
+        probs, top_scores, top_experts = _stacked_softmax_topk(
+            noisy.reshape(r * s, e), self.top_k
+        )
+        return self._from_topk_batch(
+            probs,
+            top_experts,
+            top_scores,
+            np.zeros_like(top_experts, dtype=bool),
+            noisy,
+            r,
+            s,
         )
 
 
@@ -553,6 +953,56 @@ class ExpertChoicePolicy(_PolicyBase):
             aux_loss=0.0,  # balance holds by construction
             z_loss=self._scaled_z_loss(logits),
         )
+
+    def decide_batch(
+        self, logits: np.ndarray, step: int | None = None
+    ) -> list[RoutingDecision]:
+        """Stacked expert choice: one token-axis argsort covers every rank.
+
+        The per-expert token ranking runs as a single stable argsort along
+        the stacked token axis, so each (rank, expert) column sorts exactly
+        as in the sequential loop; capacities depend only on the (shared)
+        token count, so the same mask selects every rank's assignments.
+        """
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 3:
+            raise ValueError(f"expected [R, S, E] logits, got {logits.shape}")
+        r, s, e = logits.shape
+        probs = _stacked_softmax(logits.reshape(r * s, e)).reshape(r, s, e)
+
+        budget = s * self.top_k
+        caps = np.full(e, budget // e, dtype=np.int64)
+        caps[: budget % e] += 1
+        np.minimum(caps, s, out=caps)
+
+        order = np.argsort(-probs, axis=1, kind="stable")  # [R, S, E]
+        max_cap = int(caps.max()) if caps.size else 0
+        picked = order[:, :max_cap, :].transpose(0, 2, 1)  # [R, E, max_cap]
+        mask = np.arange(max_cap)[None, :] < caps[:, None]  # [E, max_cap]
+        token_ids = picked[:, mask].astype(np.int64)  # [R, A]
+        # Shared (read-only) across ranks: the capacities are identical.
+        expert_ids = np.repeat(np.arange(e, dtype=np.int64), caps)  # [A]
+        scores = probs[np.arange(r)[:, None], token_ids, expert_ids[None, :]]
+        dropped = np.zeros((r, token_ids.shape[1]), dtype=bool)
+        if self.z_loss_coef:
+            z = self.z_loss_coef * _batched_z_loss(logits)
+        else:
+            z = np.zeros(r)
+
+        return [
+            RoutingDecision(
+                num_tokens=s,
+                num_experts=e,
+                token_ids=token_ids[i],
+                expert_ids=expert_ids,
+                scores=scores[i],
+                dropped=dropped[i],
+                probs=probs[i],
+                aux_loss=0.0,  # balance holds by construction
+                z_loss=float(z[i]),
+            )
+            for i in range(r)
+        ]
 
 
 # ----------------------------------------------------------------------

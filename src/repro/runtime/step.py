@@ -1,0 +1,285 @@
+"""The rank-batched step runtime: one vectorized drive loop for every workload.
+
+Before this module existed, every workload that wanted to push tokens
+through ``route → to_pft → plan → dispatch → run_experts → combine``
+re-implemented the same per-rank Python loop: call ``policy.route()`` once
+per rank, build each rank's PFT from scratch, then hand the lists to the
+dispatcher.  :class:`StepRuntime` replaces all of those loops with a single
+shared driver that executes the whole pipeline **for all ranks at once**:
+
+* routing runs through :meth:`~repro.routing.policies.RouterPolicy.route_batch`
+  — one stacked ``(num_ranks * tokens, hidden)`` projection plus one
+  vectorized top-k instead of ``num_ranks`` separate calls;
+* PFT construction runs through
+  :meth:`~repro.routing.policies.RoutingDecision.to_pfts` — every rank's
+  capacity rule and canonical ordering in one argsort/bincount pass;
+* the plan build, dispatch, expert execution, and combine stages drive the
+  :class:`~repro.routing.engine.Dispatcher` protocol exactly as before.
+
+Both batched stages are bit-identical to the sequential per-rank loop
+(property-tested in ``tests/test_step_runtime.py``), so swapping a driver
+onto the runtime changes its wall-clock, never its outputs.
+
+:class:`StepWorkspace` owns the reusable stacked buffers (hidden block and
+router logits) so steady-state steps stop re-allocating them, and
+:class:`StepTrace` is the uniform attachment point for telemetry, byte
+accounting, and future tracing consumers: every executed step emits one
+trace object to every registered hook.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.routing.engine import Dispatcher
+from repro.routing.policies import RouterPolicy, RoutingDecision
+from repro.routing.telemetry import RoutingTelemetry
+
+
+class StepWorkspace:
+    """Reusable stacked buffers for the rank-batched route path.
+
+    The runtime routes through one ``(num_ranks * tokens, hidden)`` block
+    and one matching logits block per step; this workspace keeps both
+    allocations alive across steps (they are re-used in place whenever the
+    requested shape matches, and transparently re-grown when it does not),
+    so a steady-state drive loop performs no per-step buffer allocation for
+    the stacked route stage.
+    """
+
+    def __init__(self) -> None:
+        self._hidden: np.ndarray | None = None
+        self._logits: np.ndarray | None = None
+        self.hidden_reuses = 0
+        self.logits_reuses = 0
+
+    def _buffer(self, current: np.ndarray | None, rows: int, cols: int):
+        shape = (rows, cols)
+        if current is not None and current.shape == shape:
+            return current, True
+        return np.empty(shape, dtype=np.float64), False
+
+    def stacked_hidden(self, rows: int, cols: int) -> np.ndarray:
+        """The ``(rows, cols)`` stacked hidden-state buffer (reused)."""
+        self._hidden, reused = self._buffer(self._hidden, rows, cols)
+        self.hidden_reuses += int(reused)
+        return self._hidden
+
+    def stacked_logits(self, rows: int, cols: int) -> np.ndarray:
+        """The ``(rows, cols)`` stacked router-logits buffer (reused)."""
+        self._logits, reused = self._buffer(self._logits, rows, cols)
+        self.logits_reuses += int(reused)
+        return self._logits
+
+
+@dataclass
+class StepTrace:
+    """Everything one executed step exposes to tracing consumers.
+
+    Emitted by :meth:`StepRuntime.run_step` to every registered trace hook
+    (and embedded in the returned :class:`StepResult`), so telemetry, byte
+    accounting, and future tracing consumers all attach through the same
+    object instead of re-deriving step state from scratch.
+    """
+
+    step: int | None
+    num_ranks: int
+    tokens_per_rank: list[int]
+    row_bytes: int
+    decisions: list[RoutingDecision]
+    pfts: list
+    plan: object  # DispatchPlan
+    seconds: float
+
+    @property
+    def dispatched_rows(self) -> int:
+        """Surviving routed assignments entering the dispatch stage.
+
+        This counts the assignment population, not wire traffic: RBD moves
+        fewer rows (dedup) and hierarchical dispatch moves rows over
+        several hops — read ``plan.sent_rows()`` / ``plan.stats_dict()``
+        for what the collectives actually carried.
+        """
+        return int(sum(pft.num_routed_tokens for pft in self.pfts))
+
+    @property
+    def dispatch_bytes(self) -> int:
+        """Payload bytes of the surviving assignments (``row_bytes`` each)."""
+        return self.dispatched_rows * self.row_bytes
+
+
+#: a trace consumer: called once per executed step with the step's trace.
+TraceHook = Callable[[StepTrace], None]
+
+
+@dataclass
+class StepResult:
+    """The outputs of one runtime step, plus its :class:`StepTrace`."""
+
+    trace: StepTrace
+    expert_inputs: list[np.ndarray]
+    expert_outputs: list[np.ndarray]
+    outputs: list[np.ndarray]
+
+    @property
+    def plan(self):
+        """The step's :class:`~repro.routing.plan.DispatchPlan`."""
+        return self.trace.plan
+
+    @property
+    def decisions(self) -> list[RoutingDecision]:
+        """Per-rank routing decisions (batched route, bit-identical)."""
+        return self.trace.decisions
+
+    @property
+    def pfts(self) -> list:
+        """Per-rank PFTs compiled by the batched builder."""
+        return self.trace.pfts
+
+
+class StepRuntime:
+    """Executes one MoE step for every rank of an EP group at once.
+
+    Parameters
+    ----------
+    policy:
+        The :class:`~repro.routing.policies.RouterPolicy` that routes each
+        step (must carry its own router weight).
+    dispatcher:
+        Any :class:`~repro.routing.engine.Dispatcher` — flat, RBD, or
+        hierarchical; the runtime is agnostic.
+    capacity:
+        Per-expert token cap applied during PFT construction, or ``None``
+        for no cap.  :meth:`capacity_for` computes the standard
+        ``ceil(capacity_factor * S * k / E)`` rule.
+    expert_weights:
+        Optional ``(per_rank_w1, per_rank_w2)`` expert parameter lists; when
+        given, :meth:`run_step` executes the real grouped expert GEMMs.
+        Without them the runtime runs *identity experts* (each expert
+        returns its input), which is exactly what the validation drivers
+        need to exercise dispatch + combine.
+    telemetry:
+        Optional :class:`~repro.routing.telemetry.RoutingTelemetry`; the
+        runtime records every step into it (decisions, PFTs, plan, payload
+        bytes derived from the actual token dtype).
+    trace_hooks:
+        Iterable of callables invoked with the :class:`StepTrace` of every
+        executed step.
+    """
+
+    def __init__(
+        self,
+        policy: RouterPolicy,
+        dispatcher: Dispatcher,
+        *,
+        capacity: int | None = None,
+        expert_weights: tuple[list[np.ndarray], list[np.ndarray]] | None = None,
+        activation: str = "silu",
+        telemetry: RoutingTelemetry | None = None,
+        trace_hooks: tuple[TraceHook, ...] = (),
+    ):
+        self.policy = policy
+        self.dispatcher = dispatcher
+        self.capacity = capacity
+        self.expert_weights = expert_weights
+        self.activation = activation
+        self.telemetry = telemetry
+        self.trace_hooks: list[TraceHook] = list(trace_hooks)
+        self.workspace = StepWorkspace()
+        self.steps_run = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def capacity_for(
+        tokens_per_rank: int, top_k: int, num_experts: int, capacity_factor: float
+    ) -> int:
+        """The standard per-expert cap: ``ceil(c * S * k / E)``, at least 1."""
+        return max(
+            1, math.ceil(capacity_factor * tokens_per_rank * top_k / num_experts)
+        )
+
+    def add_trace_hook(self, hook: TraceHook) -> None:
+        """Register another per-step trace consumer."""
+        self.trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    def route(
+        self, per_rank_hidden: list[np.ndarray], *, step: int | None = None
+    ) -> tuple[list[RoutingDecision], list]:
+        """The batched front half of a step: decisions and PFTs, all ranks.
+
+        Useful on its own when a caller only needs the routing artifacts
+        (the telemetry/trace hooks do **not** fire — they observe full
+        steps).
+        """
+        decisions = self.policy.route_batch(
+            per_rank_hidden, step=step, workspace=self.workspace
+        )
+        pfts = RoutingDecision.to_pfts(decisions, self.capacity)
+        return decisions, pfts
+
+    def run_step(
+        self, per_rank_hidden: list[np.ndarray], *, step: int | None = None
+    ) -> StepResult:
+        """Execute route → to_pft → plan → dispatch → experts → combine.
+
+        ``per_rank_hidden`` holds one ``[S, H]`` batch per EP-group rank.
+        Returns the per-rank combined outputs along with every intermediate
+        artifact, records the step into the attached telemetry, and emits a
+        :class:`StepTrace` to every registered hook.
+        """
+        start = time.perf_counter()
+        # The payload keeps its own dtype (routing casts to float64
+        # internally): byte accounting below must see what actually moves.
+        arrays = [np.asarray(h) for h in per_rank_hidden]
+        if not arrays:
+            raise ValueError("need at least one rank's hidden states")
+
+        decisions, pfts = self.route(arrays, step=step)
+        plan = self.dispatcher.plan(pfts, step=step)
+        expert_inputs, _ = self.dispatcher.dispatch(arrays, pfts, plan=plan, step=step)
+
+        if self.expert_weights is not None:
+            per_rank_w1, per_rank_w2 = self.expert_weights
+            expert_outputs = self.dispatcher.run_experts(
+                expert_inputs, plan, per_rank_w1, per_rank_w2,
+                activation=self.activation,
+            )
+        else:
+            # Identity experts: exercises dispatch + combine with the
+            # dispatched rows themselves (the validation drivers' mode).
+            expert_outputs = [buf.copy() for buf in expert_inputs]
+
+        outputs = self.dispatcher.combine(
+            expert_outputs, plan, [h.shape[0] for h in arrays]
+        )
+
+        # Payload sizing derives from the actual token dtype — a float32
+        # payload halves the byte accounting instead of silently lying.
+        row_bytes = int(arrays[0].shape[1] * arrays[0].dtype.itemsize)
+        trace = StepTrace(
+            step=step,
+            num_ranks=len(arrays),
+            tokens_per_rank=[int(h.shape[0]) for h in arrays],
+            row_bytes=row_bytes,
+            decisions=decisions,
+            pfts=pfts,
+            plan=plan,
+            seconds=time.perf_counter() - start,
+        )
+        if self.telemetry is not None:
+            self.telemetry.record(decisions, pfts=pfts, plan=plan, row_bytes=row_bytes)
+        for hook in self.trace_hooks:
+            hook(trace)
+        self.steps_run += 1
+        return StepResult(
+            trace=trace,
+            expert_inputs=expert_inputs,
+            expert_outputs=expert_outputs,
+            outputs=outputs,
+        )

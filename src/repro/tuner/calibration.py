@@ -12,10 +12,16 @@ the evaluator folds into each candidate's step time:
   cost per (token, expert) assignment, per dispatch kind, from
   ``dispatch_plan_micro.json`` (the hierarchical planner reuses the RBD
   figure until it has its own record).
+* ``route_seconds_per_assignment`` — measured batched route + PFT
+  construction cost per assignment, from ``step_runtime_micro.json``
+  (the :class:`repro.runtime.StepRuntime` micro-benchmark), pricing the
+  CPU-side routing front half of every step.
 * ``time_scale`` — a global multiplier on the modeled step time, taken
   from an optional ``model_time_scale`` key so a future measured-vs-modeled
   comparison can be fed back in.
 
+Records of different kinds merge: a results directory holding both the
+dispatch-plan and the step-runtime record contributes both rates.
 Everything degrades gracefully: a missing, unreadable, or partial record
 yields :meth:`Calibration.identity`, so the tuner never *requires* a
 benchmark run.
@@ -36,6 +42,7 @@ class Calibration:
     """Measured corrections applied on top of the analytic cost models."""
 
     plan_build_seconds_per_assignment: dict[str, float] = field(default_factory=dict)
+    route_seconds_per_assignment: float = 0.0
     time_scale: float = 1.0
     source: str | None = None
 
@@ -47,7 +54,21 @@ class Calibration:
     @property
     def is_identity(self) -> bool:
         """Whether this calibration changes nothing."""
-        return not self.plan_build_seconds_per_assignment and self.time_scale == 1.0
+        return (
+            not self.plan_build_seconds_per_assignment
+            and self.route_seconds_per_assignment == 0.0
+            and self.time_scale == 1.0
+        )
+
+    def route_overhead_seconds(self, assignments: float) -> float:
+        """CPU-side routing (route + PFT) seconds for one step's assignments.
+
+        Measured by ``benchmarks/test_step_runtime_micro.py`` as the batched
+        :class:`repro.runtime.StepRuntime` front half; zero when that record
+        has not been collected — like plan overhead, calibration only adds
+        measured cost.
+        """
+        return self.route_seconds_per_assignment * assignments
 
     def plan_overhead_seconds(self, dispatch_kind: str, assignments: float) -> float:
         """CPU-side plan-build seconds for one plan over ``assignments`` rows.
@@ -65,8 +86,14 @@ class Calibration:
         return per_assignment * assignments
 
 
-def _micro_record(path: Path) -> Calibration | None:
-    """Parse one ``dispatch_plan_micro.json``-shaped record, or ``None``."""
+def _record_fields(path: Path) -> tuple[dict, float, float] | None:
+    """Parse one JSON record into (plan rates, route rate, time scale).
+
+    Understands both record shapes of the ``benchmarks/results/`` family:
+    ``dispatch_plan_micro.json`` (per-kind plan-build seconds) and
+    ``step_runtime_micro.json`` (batched route + PFT seconds).  Returns
+    ``None`` when the file holds neither.
+    """
     try:
         record = json.loads(path.read_text())
     except (OSError, ValueError):
@@ -81,32 +108,64 @@ def _micro_record(path: Path) -> Calibration | None:
         value = seconds.get(key)
         if isinstance(value, (int, float)) and value > 0:
             per_assignment[kind] = float(value) / float(assignments)
-    if not per_assignment:
+    route_rate = 0.0
+    route_value = seconds.get("batched_route_pft")
+    if isinstance(route_value, (int, float)) and route_value > 0:
+        route_rate = float(route_value) / float(assignments)
+    if not per_assignment and not route_rate:
         return None
     scale = record.get("model_time_scale", 1.0)
     if not isinstance(scale, (int, float)) or scale <= 0:
         scale = 1.0
-    return Calibration(
-        plan_build_seconds_per_assignment=per_assignment,
-        time_scale=float(scale),
-        source=str(path),
-    )
+    return per_assignment, route_rate, float(scale)
 
 
 def load_calibration(path: str | Path | None = None) -> Calibration:
     """Load measured constants from ``benchmarks/results/`` (or a file).
 
     ``path`` may point at a specific JSON record or at a directory of them
-    (the default: the repo's ``benchmarks/results/``).  Returns
+    (the default: the repo's ``benchmarks/results/``).  Records of
+    different kinds merge — the dispatch-plan record contributes plan-build
+    rates, the step-runtime record the routing rate; within one kind the
+    first usable record (sorted filename order) wins.  Returns
     :meth:`Calibration.identity` when nothing usable is found — the tuner
     works uncalibrated everywhere the benchmarks have not been run.
     """
     root = Path(path) if path is not None else DEFAULT_RESULTS_DIR
     if root.is_file():
-        return _micro_record(root) or Calibration.identity()
-    if root.is_dir():
-        for record_path in sorted(root.glob("*.json")):
-            calibration = _micro_record(record_path)
-            if calibration is not None:
-                return calibration
-    return Calibration.identity()
+        paths = [root]
+    elif root.is_dir():
+        paths = sorted(root.glob("*.json"))
+    else:
+        return Calibration.identity()
+
+    plan_rates: dict[str, float] = {}
+    route_rate = 0.0
+    time_scale = 1.0
+    sources: list[str] = []
+    for record_path in paths:
+        fields = _record_fields(record_path)
+        if fields is None:
+            continue
+        per_assignment, record_route, scale = fields
+        used = False
+        if per_assignment and not plan_rates:
+            plan_rates = per_assignment
+            used = True
+        if record_route and not route_rate:
+            route_rate = record_route
+            used = True
+        if used:
+            # Any used record may carry model_time_scale; the first
+            # *non-default* value wins (records without the key read 1.0).
+            if time_scale == 1.0 and scale != 1.0:
+                time_scale = scale
+            sources.append(str(record_path))
+    if not plan_rates and not route_rate:
+        return Calibration.identity()
+    return Calibration(
+        plan_build_seconds_per_assignment=plan_rates,
+        route_seconds_per_assignment=route_rate,
+        time_scale=time_scale,
+        source="; ".join(sources),
+    )

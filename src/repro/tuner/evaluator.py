@@ -218,11 +218,13 @@ class MemoizingEvaluator:
 
         plans_per_step = model.num_moe_layers * parallel.gradient_accumulation_steps
         # One dispatch plan covers the whole EP group, and the calibration
-        # rate is measured per *group-wide* assignment — so charge the
-        # group's total rows, not one device's share.
+        # rates are measured per *group-wide* assignment — so charge the
+        # group's total rows, not one device's share.  Routing (batched
+        # route + PFT construction) runs once per plan, like the build.
         assignments = model.top_k * perf.tokens_per_device * parallel.ep_size
-        overhead = plans_per_step * self.calibration.plan_overhead_seconds(
-            parallel.dispatch_kind, assignments
+        overhead = plans_per_step * (
+            self.calibration.plan_overhead_seconds(parallel.dispatch_kind, assignments)
+            + self.calibration.route_overhead_seconds(assignments)
         )
         step_seconds = perf.iteration_time() * self.calibration.time_scale + overhead
 

@@ -61,6 +61,7 @@ class ActivationBreakdown:
     eri_metadata: float = 0.0
 
     def total(self) -> float:
+        """Summed activation bytes across every pipeline stage."""
         return (
             self.a_dispatch
             + self.a_combine
@@ -73,6 +74,7 @@ class ActivationBreakdown:
         )
 
     def as_dict(self) -> dict[str, float]:
+        """Per-stage activation bytes keyed by the paper's Table 4 names."""
         return {
             "A_dispatch": self.a_dispatch,
             "A_combine": self.a_combine,
@@ -97,18 +99,22 @@ class MemoryReport:
 
     @property
     def total_bytes(self) -> float:
+        """Peak per-GPU bytes: model states plus activations."""
         return self.model_states_bytes + self.activation_bytes
 
     @property
     def total_gb(self) -> float:
+        """Peak per-GPU memory in GiB."""
         return self.total_bytes / 2**30
 
     @property
     def fits(self) -> bool:
+        """Whether the peak fits in the device's HBM capacity."""
         return self.total_bytes <= self.capacity_bytes
 
     @property
     def headroom_gb(self) -> float:
+        """GiB left below the device capacity (negative when OOM)."""
         return (self.capacity_bytes - self.total_bytes) / 2**30
 
 

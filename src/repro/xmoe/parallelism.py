@@ -78,6 +78,7 @@ class PlacementPlan:
 
     @property
     def total_seconds(self) -> float:
+        """Summed per-iteration communication cost of this placement."""
         return self.ep_alltoall_seconds + self.dp_allreduce_seconds
 
 

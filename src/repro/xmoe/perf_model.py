@@ -53,6 +53,7 @@ class LayerTimeBreakdown:
     others: float
 
     def total(self) -> float:
+        """Summed seconds across every stage of one MoE layer."""
         return (
             self.gate
             + self.dispatch_buffer
@@ -64,6 +65,7 @@ class LayerTimeBreakdown:
         )
 
     def as_dict(self) -> dict[str, float]:
+        """Per-stage seconds keyed by stage name (Fig. 11's breakdown)."""
         return {
             "gate": self.gate,
             "dispatch": self.dispatch_buffer,
@@ -86,6 +88,7 @@ class DispatchBreakdown:
     input_reconstruction: float = 0.0
 
     def total(self) -> float:
+        """Summed seconds across the dispatch sub-stages (Fig. 12)."""
         return (
             self.buffer_instantiation
             + self.inter_node_a2a
@@ -459,6 +462,7 @@ class MoEPerformanceModel:
         return compute_time + grad_sync
 
     def tokens_per_step(self) -> int:
+        """Tokens processed per optimizer step across the whole job."""
         return self.parallel.global_batch_size * self.model.seq_length
 
     def throughput_tflops_per_gpu(self) -> float:

@@ -80,6 +80,7 @@ class PaddingFreeMoELayer:
         self._step = 0  # decorrelates router exploration noise across calls
 
     def parameters(self) -> list[Tensor]:
+        """All trainable tensors: gate weight plus expert banks."""
         return self.gate.parameters() + self.experts.parameters()
 
     def __call__(self, tokens: Tensor) -> tuple[Tensor, Tensor]:

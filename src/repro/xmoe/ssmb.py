@@ -103,6 +103,7 @@ class ShardInfo:
 
     @property
     def length(self) -> int:
+        """Sequence positions owned by this shard."""
         return self.stop - self.start
 
 

@@ -14,8 +14,10 @@ analytic trainer and the functional substrate: the former returns the
 plan-based dispatch engine (flat, RBD, or hierarchical, per
 ``parallel.dispatch_kind``), the latter the
 :class:`~repro.routing.policies.RouterPolicy` named by ``model.router`` —
-and :func:`run_routing_validation` drives both over the simulated cluster
-for a few steps, recording a step-by-step
+and :func:`run_routing_validation` drives both through the shared
+:class:`~repro.runtime.StepRuntime` (one rank-batched route/PFT/dispatch
+loop, no per-rank Python routing) over the simulated cluster for a few
+steps, recording a step-by-step
 :class:`~repro.routing.telemetry.RoutingTelemetry`.
 :func:`sweep_dispatch_validation` runs the same validation once per dispatch
 strategy, which is how the dispatch benchmarks compare per-tier traffic.
@@ -24,7 +26,6 @@ strategy, which is how the dispatch benchmarks compare per-tier traffic.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.config.parallel_config import ParallelConfig, PlacementOrder, ZeroSta
 from repro.routing.engine import PlanDispatcher, make_dispatcher
 from repro.routing.policies import RouterPolicy, make_policy, skewed_router_tokens
 from repro.routing.telemetry import RoutingTelemetry
+from repro.runtime import StepRuntime
 from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
 from repro.xmoe.perf_model import MoEPerformanceModel
 
@@ -115,15 +117,18 @@ def run_routing_validation(
 ) -> RoutingTelemetry:
     """Drive one router policy through the full dispatch/combine pipeline.
 
-    Every step: each rank routes a fresh batch of (optionally Zipf-skewed)
-    hidden states with the shared policy, the decisions compile to PFTs
-    (policy drops filtered, then the standard capacity rule), the selected
-    planner (``dispatch="flat"|"rbd"|"hier"``; the legacy ``use_rbd``
-    boolean is honoured when ``dispatch`` is omitted) builds the step's
-    :class:`~repro.routing.plan.DispatchPlan`, tokens dispatch and combine
-    over the simulated cluster, and the telemetry records the step.  All
-    randomness derives from ``(seed, step, rank)``, so a run is exactly
-    reproducible.
+    A thin consumer of the shared :class:`~repro.runtime.StepRuntime`: every
+    step, each rank's fresh batch of (optionally Zipf-skewed) hidden states
+    is routed by **one rank-batched call** (stacked projection + vectorized
+    top-k, bit-identical to the old per-rank loop), the decisions compile to
+    PFTs in one batched pass (policy drops filtered, then the standard
+    capacity rule), the selected planner (``dispatch="flat"|"rbd"|"hier"``;
+    the legacy ``use_rbd`` boolean is honoured when ``dispatch`` is omitted)
+    builds the step's :class:`~repro.routing.plan.DispatchPlan`, tokens
+    dispatch and combine over the simulated cluster, and the runtime records
+    the step into the returned telemetry — payload bytes derived from the
+    actual token dtype.  All randomness derives from ``(seed, step, rank)``,
+    so a run is exactly reproducible.
     """
     world = CommWorld(num_ranks=num_ranks, system=system)
     group = world.world_group()
@@ -139,29 +144,27 @@ def run_routing_validation(
     dispatcher = make_dispatcher(
         group, num_experts, kind=dispatch, use_rbd=use_rbd, seed=seed
     )
-    capacity = max(
-        1, math.ceil(capacity_factor * tokens_per_rank * top_k / num_experts)
-    )
     telemetry = RoutingTelemetry(num_experts)
-    row_bytes = hidden_size * 8  # float64 payload rows
+    runtime = StepRuntime(
+        policy,
+        dispatcher,
+        capacity=StepRuntime.capacity_for(
+            tokens_per_rank, top_k, num_experts, capacity_factor
+        ),
+        telemetry=telemetry,
+    )
 
     for step in range(steps):
-        tokens, pfts, decisions = [], [], []
-        for rank in range(num_ranks):
-            data_rng = np.random.default_rng((seed, step, rank))
-            hidden = skewed_router_tokens(
-                data_rng, tokens_per_rank, policy.weight, skew=skew
+        hidden = [
+            skewed_router_tokens(
+                np.random.default_rng((seed, step, rank)),
+                tokens_per_rank,
+                policy.weight,
+                skew=skew,
             )
-            decision = policy.route(hidden, step=step)
-            decisions.append(decision)
-            pfts.append(decision.to_pft(capacity))
-            tokens.append(hidden)
-        plan = dispatcher.plan(pfts, step=step)
-        expert_inputs, _ = dispatcher.dispatch(tokens, pfts, plan=plan)
-        dispatcher.combine(
-            [buf.copy() for buf in expert_inputs], plan, [tokens_per_rank] * num_ranks
-        )
-        telemetry.record(decisions, pfts=pfts, plan=plan, row_bytes=row_bytes)
+            for rank in range(num_ranks)
+        ]
+        runtime.run_step(hidden, step=step)
     telemetry.comm_stats = world.stats
     return telemetry
 
@@ -197,9 +200,11 @@ class TrainRunResult:
 
     @property
     def trainable(self) -> bool:
+        """Whether the configuration fit in memory (no OOM verdict)."""
         return not self.oom
 
     def describe(self) -> str:
+        """One status line: system, model, layout, memory, throughput."""
         status = "OOM" if self.oom else f"{self.tflops_per_gpu:.1f} TFLOPs/GPU"
         return (
             f"{self.system.value:>14s} | {self.model_name:>8s} | "

@@ -1,8 +1,9 @@
 """Public-docstring coverage for the API packages ruff's D1 rules guard.
 
 CI enforces the ``D1`` (public docstring) ruff rules for
-``src/repro/routing/``, ``src/repro/comm/``, and ``src/repro/tuner/`` via
-the per-file-ignores in ``pyproject.toml``.  This test mirrors that
+``src/repro/routing/``, ``src/repro/comm/``, ``src/repro/tuner/``,
+``src/repro/xmoe/``, and ``src/repro/runtime/`` via the per-file-ignores
+in ``pyproject.toml``.  This test mirrors that
 contract inside tier-1, so a missing docstring fails the suite on any
 machine — ruff installed or not — and the lint job can never be the first
 place the gap shows up.
@@ -17,7 +18,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: packages whose public surface must be fully docstringed (keep in sync
 #: with the D1 per-file-ignores pattern in pyproject.toml).
-ENFORCED_PACKAGES = ("routing", "comm", "tuner")
+ENFORCED_PACKAGES = ("routing", "comm", "tuner", "xmoe", "runtime")
 
 
 def _is_public(name: str) -> bool:

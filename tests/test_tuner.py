@@ -16,6 +16,7 @@ from repro.tuner import (
     pareto_frontier,
     tune,
 )
+from repro.runtime import StepRuntime
 from repro.xmoe import dispatcher_for_config, policy_for_config
 from repro.xmoe.memory_model import MoEMemoryModel, SystemKind
 
@@ -252,12 +253,9 @@ class TestTuneAndReport:
             np.random.default_rng(r).normal(size=(16, 32))
             for r in range(plan.ep_size)
         ]
-        pfts = [policy.route(t, step=0).to_pft() for t in tokens]
-        expert_inputs, dispatch_plan = dispatcher.dispatch(tokens, pfts)
-        outputs = dispatcher.combine(
-            [buf.copy() for buf in expert_inputs], dispatch_plan, [16] * plan.ep_size
-        )
-        assert all(o.shape == (16, 32) for o in outputs)
+        result = StepRuntime(policy, dispatcher).run_step(tokens, step=0)
+        assert result.plan.kind == plan.dispatch_kind
+        assert all(o.shape == (16, 32) for o in result.outputs)
 
 
 def test_pareto_frontier_empty_input():
