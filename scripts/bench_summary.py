@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Aggregate ``benchmarks/results/*.json`` into one trajectory table.
+
+Every micro-benchmark in ``benchmarks/`` leaves a JSON record behind
+(gitignored, machine-local) with a ``seconds`` block and one or more
+``speedup*`` figures.  This script collects them all into a single table —
+benchmark name, key metric, measured speedup — so the perf trajectory of
+the repo on the current machine is readable at a glance instead of spread
+over half a dozen files.  Plan-cache records additionally surface their
+steady-state hit rate, the figure :func:`repro.tuner.load_calibration`
+folds into tuner scoring.
+
+Malformed or partially-written records (an interrupted benchmark dump)
+are skipped with a note, mirroring the tuner's own warn-and-skip loader.
+
+Run:  python scripts/bench_summary.py [--results-dir DIR]
+Exits 0 even when no records exist (nothing measured is not an error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+DEFAULT_RESULTS_DIR = REPO / "benchmarks" / "results"
+
+
+def summarize_record(name: str, record: dict) -> list[tuple[str, str, str]]:
+    """Rows ``(benchmark, metric, value)`` for one parsed record."""
+    rows: list[tuple[str, str, str]] = []
+    for key in sorted(record):
+        if not key.startswith("speedup"):
+            continue
+        value = record[key]
+        if isinstance(value, (int, float)):
+            rows.append((name, key, f"{value:.2f}x"))
+        elif isinstance(value, dict):
+            for sub in sorted(value):
+                sub_value = value[sub]
+                if isinstance(sub_value, (int, float)):
+                    rows.append((name, f"{key}[{sub}]", f"{sub_value:.2f}x"))
+    plan_cache = record.get("plan_cache")
+    if isinstance(plan_cache, dict):
+        hit_rate = plan_cache.get("hit_rate")
+        if isinstance(hit_rate, (int, float)):
+            rows.append((name, "plan_cache.hit_rate", f"{hit_rate:.1%}"))
+        ratio = plan_cache.get("warm_cost_ratio")
+        if isinstance(ratio, (int, float)):
+            rows.append((name, "plan_cache.warm_cost_ratio", f"{ratio:.3f}"))
+    return rows
+
+
+def collect_rows(results_dir: Path) -> tuple[list[tuple[str, str, str]], list[str]]:
+    """All summary rows plus the names of records that had to be skipped."""
+    rows: list[tuple[str, str, str]] = []
+    skipped: list[str] = []
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            skipped.append(path.name)
+            continue
+        if not isinstance(record, dict):
+            skipped.append(path.name)
+            continue
+        rows.extend(summarize_record(path.stem, record))
+    return rows, skipped
+
+
+def format_table(rows: list[tuple[str, str, str]]) -> str:
+    """Render rows as an aligned three-column text table."""
+    headers = ("benchmark", "metric", "value")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(3)
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [" | ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print the trajectory table for one results dir."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=DEFAULT_RESULTS_DIR,
+        help="directory of benchmark JSON records (default: benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+    if not args.results_dir.is_dir():
+        print(f"no results directory at {args.results_dir} — nothing measured yet")
+        return 0
+    rows, skipped = collect_rows(args.results_dir)
+    if rows:
+        print(format_table(rows))
+    else:
+        print(f"no benchmark records under {args.results_dir} — run benchmarks/ first")
+    for name in skipped:
+        print(f"note: skipped malformed record {name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

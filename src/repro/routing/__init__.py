@@ -32,6 +32,17 @@ front of their experts", split into two orthogonal layers:
     combine rows are exactly zero on both paths; flat and RBD outputs are
     bit-identical.
 
+**Plan cache — skip the work when routing barely changes**
+    (:mod:`repro.routing.plan_cache`)
+    :class:`PlanCache` fingerprints each step's assignment multiset
+    (order-insensitive digests over the stacked decision arrays) and
+    resolves it against a bounded LRU: exact hit, weight-only patch,
+    incremental structural patch, or cold build — every tier bit-identical
+    to building from scratch.  Warm entries carry a fused
+    :class:`ExecProgram` that replaces the engine's dispatch + combine
+    with whole-array gathers and strided folds; wire it in via
+    ``StepRuntime(plan_cache=...)``.
+
 **Telemetry — what actually happened** (:mod:`repro.routing.telemetry`)
     :class:`RoutingTelemetry` accumulates per-expert load histograms, drop
     rates, normalized balance entropy, dispatched bytes, and redundancy,
@@ -59,6 +70,13 @@ from repro.routing.engine import (
     PlanDispatcher,
     make_dispatcher,
 )
+from repro.routing.plan_cache import (
+    ExecProgram,
+    PlanCache,
+    Resolution,
+    StepSignature,
+    decision_fingerprint,
+)
 from repro.routing.policies import (
     ROUTER_POLICIES,
     ROUTER_POLICY_NAMES,
@@ -78,13 +96,17 @@ __all__ = [
     "DISPATCH_OPS",
     "DispatchPlan",
     "Dispatcher",
+    "ExecProgram",
     "ExpertChoicePolicy",
     "FlatPlanner",
     "HierarchicalPlanner",
     "NoisyTopKPolicy",
+    "PlanCache",
     "PlanDispatcher",
     "RBDPlan",
     "RBDPlanner",
+    "Resolution",
+    "StepSignature",
     "ROUTER_POLICIES",
     "ROUTER_POLICY_NAMES",
     "RouterPolicy",
@@ -92,6 +114,7 @@ __all__ = [
     "RoutingTelemetry",
     "SoftmaxTopKPolicy",
     "SwitchTop1Policy",
+    "decision_fingerprint",
     "load_balance_entropy",
     "make_dispatcher",
     "make_policy",

@@ -51,18 +51,32 @@ class RoutingTelemetry:
         self.intra_node_bytes = 0.0
         self.sent_rows = 0
         self.planned_assignments = 0
+        #: plan-cache resolution tallies, keyed by outcome ("hit",
+        #: "weight_patch", "patch", "miss"); empty until a caching runtime
+        #: records a step.
+        self.plan_cache_outcomes: dict[str, int] = {}
         #: optionally attached by the validation driver: the CommWorld's
         #: CommStats, for per-op / per-tier inspection after the run.
         self.comm_stats = None
 
     # ------------------------------------------------------------------
-    def record(self, decisions, *, pfts=None, plan=None, row_bytes: int = 0) -> None:
+    def record(
+        self,
+        decisions,
+        *,
+        pfts=None,
+        plan=None,
+        row_bytes: int = 0,
+        cache_outcome: str | None = None,
+    ) -> None:
         """Record one step: the per-rank decisions and (optionally) the plan.
 
         ``decisions`` is a single :class:`~repro.routing.policies.RoutingDecision`
         or a list of them (one per rank); ``pfts`` adds the capacity drops
         PFT construction applied on top of the policy's own drops; ``plan``
-        adds dispatch-side telemetry with payload rows of ``row_bytes``.
+        adds dispatch-side telemetry with payload rows of ``row_bytes``;
+        ``cache_outcome`` tallies how the step's plan was resolved when a
+        :class:`~repro.routing.plan_cache.PlanCache` is in play.
         """
         if not isinstance(decisions, (list, tuple)):
             decisions = [decisions]
@@ -89,6 +103,10 @@ class RoutingTelemetry:
             self.intra_node_bytes += plan.intra_node_rows * row_bytes
             self.sent_rows += plan.sent_rows()
             self.planned_assignments += plan.total_assignments
+        if cache_outcome is not None:
+            self.plan_cache_outcomes[cache_outcome] = (
+                self.plan_cache_outcomes.get(cache_outcome, 0) + 1
+            )
         self.steps += 1
 
     # ------------------------------------------------------------------
@@ -127,8 +145,31 @@ class RoutingTelemetry:
         return self.aux_loss_sum / max(1, self.steps)
 
     # ------------------------------------------------------------------
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        """Fraction of cached-runtime steps that skipped the plan build."""
+        total = sum(self.plan_cache_outcomes.values())
+        if total == 0:
+            return 0.0
+        warm = self.plan_cache_outcomes.get("hit", 0) + self.plan_cache_outcomes.get(
+            "weight_patch", 0
+        )
+        return warm / total
+
     def summary(self) -> dict:
-        """Headline numbers for reporting (one row of the comparison table)."""
+        """Headline numbers for reporting (one row of the comparison table).
+
+        Plan-cache keys appear only when a caching runtime recorded at
+        least one step, so existing consumers of the table are unaffected.
+        """
+        out = self._base_summary()
+        if self.plan_cache_outcomes:
+            out["plan_cache_hit_rate"] = round(self.plan_cache_hit_rate, 4)
+            for outcome in ("hit", "weight_patch", "patch", "miss"):
+                out[f"plan_cache_{outcome}"] = self.plan_cache_outcomes.get(outcome, 0)
+        return out
+
+    def _base_summary(self) -> dict:
         return {
             "steps": self.steps,
             "assignments": self.assignments,

@@ -20,24 +20,35 @@ Both batched stages are bit-identical to the sequential per-rank loop
 (property-tested in ``tests/test_step_runtime.py``), so swapping a driver
 onto the runtime changes its wall-clock, never its outputs.
 
-:class:`StepWorkspace` owns the reusable stacked buffers (hidden block and
-router logits) so steady-state steps stop re-allocating them, and
-:class:`StepTrace` is the uniform attachment point for telemetry, byte
-accounting, and future tracing consumers: every executed step emits one
-trace object to every registered hook.
+:class:`StepWorkspace` owns the reusable stacked buffers (hidden block,
+router logits, and named scratch arenas) so steady-state steps stop
+re-allocating them, and :class:`StepTrace` is the uniform attachment point
+for telemetry, byte accounting, and future tracing consumers: every
+executed step emits one trace object to every registered hook.
+
+With a :class:`~repro.routing.plan_cache.PlanCache` attached
+(``plan_cache=``), the runtime additionally skips the PFT build + plan
+compile on warm steps and — once a cache entry's fused
+:class:`~repro.routing.plan_cache.ExecProgram` has been compiled from its
+first cold execution — runs the whole dispatch/experts/combine back half
+through a handful of whole-array gathers and strided folds, bit-identical
+to the engine path (comm accounting is replayed from the captured event
+templates).  The fused path only engages for float64 payloads on worlds
+without memory tracking; anything else transparently runs the engine.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.routing.engine import Dispatcher
-from repro.routing.policies import RouterPolicy, RoutingDecision
+from repro.routing.plan_cache import PlanCache, Resolution
+from repro.routing.policies import RouterPolicy, RoutingDecision, _PolicyBase
 from repro.routing.telemetry import RoutingTelemetry
 
 
@@ -55,8 +66,10 @@ class StepWorkspace:
     def __init__(self) -> None:
         self._hidden: np.ndarray | None = None
         self._logits: np.ndarray | None = None
+        self._scratch: dict[str, np.ndarray] = {}
         self.hidden_reuses = 0
         self.logits_reuses = 0
+        self.scratch_reuses = 0
 
     def _buffer(self, current: np.ndarray | None, rows: int, cols: int):
         shape = (rows, cols)
@@ -75,6 +88,22 @@ class StepWorkspace:
         self._logits, reused = self._buffer(self._logits, rows, cols)
         self.logits_reuses += int(reused)
         return self._logits
+
+    def scratch(self, name: str, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """A named reusable scratch arena (re-grown on shape/dtype change).
+
+        The fused plan-cache execution path parks its per-step intermediate
+        blocks here (stacked tokens, expert-output stack, fold values) so
+        warm steps stop re-allocating them; contents are unspecified until
+        the caller fills the array.
+        """
+        buf = self._scratch.get(name)
+        if buf is not None and buf.shape == tuple(shape) and buf.dtype == dtype:
+            self.scratch_reuses += 1
+            return buf
+        buf = np.empty(shape, dtype=dtype)
+        self._scratch[name] = buf
+        return buf
 
 
 @dataclass
@@ -95,6 +124,13 @@ class StepTrace:
     pfts: list
     plan: object  # DispatchPlan
     seconds: float
+    #: plan-cache resolution for this step ("hit" / "weight_patch" /
+    #: "patch" / "miss"), or None when the runtime has no cache attached.
+    cache_outcome: str | None = None
+    #: snapshot of the cache's cumulative counters after this step.
+    cache_stats: dict = field(default_factory=dict)
+    #: whether the back half ran through the fused ExecProgram.
+    fused: bool = False
 
     @property
     def dispatched_rows(self) -> int:
@@ -170,6 +206,13 @@ class StepRuntime:
     trace_hooks:
         Iterable of callables invoked with the :class:`StepTrace` of every
         executed step.
+    plan_cache:
+        Optional :class:`~repro.routing.plan_cache.PlanCache`.  When given,
+        each step's routing decisions are fingerprinted and resolved
+        through the cache (exact hit / weight patch / incremental patch /
+        cold build) instead of always rebuilding PFTs and the plan, and
+        warm steps with a compiled fused executor skip the engine's
+        dispatch/combine entirely — bit-identically.
     """
 
     def __init__(
@@ -182,6 +225,7 @@ class StepRuntime:
         activation: str = "silu",
         telemetry: RoutingTelemetry | None = None,
         trace_hooks: tuple[TraceHook, ...] = (),
+        plan_cache: PlanCache | None = None,
     ):
         self.policy = policy
         self.dispatcher = dispatcher
@@ -190,6 +234,7 @@ class StepRuntime:
         self.activation = activation
         self.telemetry = telemetry
         self.trace_hooks: list[TraceHook] = list(trace_hooks)
+        self.plan_cache = plan_cache
         self.workspace = StepWorkspace()
         self.steps_run = 0
 
@@ -240,24 +285,59 @@ class StepRuntime:
         if not arrays:
             raise ValueError("need at least one rank's hidden states")
 
-        decisions, pfts = self.route(arrays, step=step)
-        plan = self.dispatcher.plan(pfts, step=step)
-        expert_inputs, _ = self.dispatcher.dispatch(arrays, pfts, plan=plan, step=step)
-
-        if self.expert_weights is not None:
-            per_rank_w1, per_rank_w2 = self.expert_weights
-            expert_outputs = self.dispatcher.run_experts(
-                expert_inputs, plan, per_rank_w1, per_rank_w2,
-                activation=self.activation,
-            )
+        resolution: Resolution | None = None
+        if self.plan_cache is None:
+            decisions, pfts = self.route(arrays, step=step)
+            plan = self.dispatcher.plan(pfts, step=step)
         else:
-            # Identity experts: exercises dispatch + combine with the
-            # dispatched rows themselves (the validation drivers' mode).
-            expert_outputs = [buf.copy() for buf in expert_inputs]
+            decisions = self.policy.route_batch(
+                arrays, step=step, workspace=self.workspace
+            )
+            resolution = self.plan_cache.resolve(
+                decisions,
+                dispatcher=self.dispatcher,
+                capacity=self.capacity,
+                tokens_per_rank=[int(h.shape[0]) for h in arrays],
+                row_signature=(int(arrays[0].shape[1]), arrays[0].dtype.str),
+                step=step,
+            )
+            pfts, plan = resolution.pfts, resolution.plan
 
-        outputs = self.dispatcher.combine(
-            expert_outputs, plan, [h.shape[0] for h in arrays]
-        )
+        fusable = resolution is not None and self._fusable(arrays)
+        if fusable and resolution.exec_program is not None:
+            expert_inputs, expert_outputs, outputs = self._run_fused(
+                resolution.exec_program, arrays, plan
+            )
+            fused = True
+        else:
+            stats = self.dispatcher.group.world.stats
+            events_before = len(stats.events)
+            expert_inputs, _ = self.dispatcher.dispatch(
+                arrays, pfts, plan=plan, step=step
+            )
+            if self.expert_weights is not None:
+                per_rank_w1, per_rank_w2 = self.expert_weights
+                expert_outputs = self.dispatcher.run_experts(
+                    expert_inputs, plan, per_rank_w1, per_rank_w2,
+                    activation=self.activation,
+                )
+            else:
+                # Identity experts: exercises dispatch + combine with the
+                # dispatched rows themselves (the validation drivers' mode).
+                expert_outputs = [buf.copy() for buf in expert_inputs]
+            outputs = self.dispatcher.combine(
+                expert_outputs, plan, [h.shape[0] for h in arrays]
+            )
+            fused = False
+            if fusable and resolution.exec_program is None:
+                # First engine-path execution of this cache entry: compile
+                # the fused program and capture the step's comm events as
+                # replay templates for future warm runs.
+                self.plan_cache.attach_exec(
+                    resolution.entry,
+                    tokens_per_rank=[int(h.shape[0]) for h in arrays],
+                    comm_events=tuple(stats.events[events_before:]),
+                )
 
         # Payload sizing derives from the actual token dtype — a float32
         # payload halves the byte accounting instead of silently lying.
@@ -271,9 +351,18 @@ class StepRuntime:
             pfts=pfts,
             plan=plan,
             seconds=time.perf_counter() - start,
+            cache_outcome=resolution.outcome if resolution is not None else None,
+            cache_stats=self.plan_cache.stats() if self.plan_cache is not None else {},
+            fused=fused,
         )
         if self.telemetry is not None:
-            self.telemetry.record(decisions, pfts=pfts, plan=plan, row_bytes=row_bytes)
+            self.telemetry.record(
+                decisions,
+                pfts=pfts,
+                plan=plan,
+                row_bytes=row_bytes,
+                cache_outcome=trace.cache_outcome,
+            )
         for hook in self.trace_hooks:
             hook(trace)
         self.steps_run += 1
@@ -283,3 +372,62 @@ class StepRuntime:
             expert_outputs=expert_outputs,
             outputs=outputs,
         )
+
+    # ------------------------------------------------------------------
+    def _fusable(self, arrays: list[np.ndarray]) -> bool:
+        """Whether this step may run through the fused cached executor.
+
+        The fused path gathers float64 rows verbatim and replays comm
+        accounting from event templates, so it requires a float64 payload
+        (routing's internal dtype — anything else would change what the
+        engine dispatches) and a world without memory tracking (replay does
+        not charge simulated device buffers).
+        """
+        return all(a.dtype == np.float64 for a in arrays) and not (
+            self.dispatcher.group.world.track_memory
+        )
+
+    def _stacked_tokens(self, arrays: list[np.ndarray]) -> np.ndarray:
+        """The step's ``(total_tokens, hidden)`` stack for the fused gather.
+
+        When this step's batched route just filled the workspace's stacked
+        hidden buffer (shipped policies with uniform batches), that buffer
+        *is* the stack and is reused as-is; otherwise the rows are
+        concatenated into a scratch arena.
+        """
+        rows = sum(int(a.shape[0]) for a in arrays)
+        cols = int(arrays[0].shape[1])
+        uniform = all(a.shape[0] == arrays[0].shape[0] for a in arrays)
+        hidden = self.workspace._hidden
+        if (
+            uniform
+            and hidden is not None
+            and hidden.shape == (rows, cols)
+            and type(self.policy).route_batch is _PolicyBase.route_batch
+        ):
+            return hidden
+        stacked = self.workspace.scratch("fused_stacked_tokens", (rows, cols))
+        np.concatenate(arrays, axis=0, out=stacked)
+        return stacked
+
+    def _run_fused(self, program, arrays: list[np.ndarray], plan):
+        """Drive one warm step through the cached fused executor."""
+        expert_inputs, big = program.run_dispatch(self._stacked_tokens(arrays))
+        if self.expert_weights is not None:
+            per_rank_w1, per_rank_w2 = self.expert_weights
+            expert_outputs = self.dispatcher.run_experts(
+                expert_inputs, plan, per_rank_w1, per_rank_w2,
+                activation=self.activation,
+            )
+            stacked_out = self.workspace.scratch("fused_expert_outputs", big.shape)
+            for d, buf in enumerate(expert_outputs):
+                stacked_out[program.dest_off[d] : program.dest_off[d + 1]] = buf
+        else:
+            stacked_out = big.copy()
+            expert_outputs = [
+                stacked_out[program.dest_off[d] : program.dest_off[d + 1]]
+                for d in range(len(arrays))
+            ]
+        outputs = program.run_combine(stacked_out, workspace=self.workspace)
+        program.replay_comm(self.dispatcher.group.world.stats)
+        return expert_inputs, expert_outputs, outputs

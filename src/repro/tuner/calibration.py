@@ -19,17 +19,27 @@ the evaluator folds into each candidate's step time:
 * ``time_scale`` — a global multiplier on the modeled step time, taken
   from an optional ``model_time_scale`` key so a future measured-vs-modeled
   comparison can be fed back in.
+* ``plan_cache_hit_rate`` / ``plan_cache_warm_cost_ratio`` — measured
+  steady-state plan-cache behavior from ``plan_cache_micro.json``
+  (the :class:`repro.routing.plan_cache.PlanCache` micro-benchmark):
+  the fraction of steps that resolve warm and the relative cost of a warm
+  resolve vs a cold build.  :meth:`Calibration.plan_overhead_seconds`
+  discounts the per-step plan-build cost accordingly, so the evaluator
+  stops over-charging workloads that would run against a warm cache.
 
 Records of different kinds merge: a results directory holding both the
 dispatch-plan and the step-runtime record contributes both rates.
 Everything degrades gracefully: a missing, unreadable, or partial record
-yields :meth:`Calibration.identity`, so the tuner never *requires* a
-benchmark run.
+is skipped with a warning (partially-written JSON happens when a benchmark
+is interrupted mid-dump) and an empty directory yields
+:meth:`Calibration.identity`, so the tuner never *requires* a benchmark
+run.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -44,6 +54,11 @@ class Calibration:
     plan_build_seconds_per_assignment: dict[str, float] = field(default_factory=dict)
     route_seconds_per_assignment: float = 0.0
     time_scale: float = 1.0
+    #: measured fraction of steps resolving warm against the plan cache
+    #: (0.0 = no cache measured: full build cost charged every step).
+    plan_cache_hit_rate: float = 0.0
+    #: measured cost of a warm cache resolve relative to a cold plan build.
+    plan_cache_warm_cost_ratio: float = 1.0
     source: str | None = None
 
     @classmethod
@@ -58,6 +73,7 @@ class Calibration:
             not self.plan_build_seconds_per_assignment
             and self.route_seconds_per_assignment == 0.0
             and self.time_scale == 1.0
+            and self.plan_cache_hit_rate == 0.0
         )
 
     def route_overhead_seconds(self, assignments: float) -> float:
@@ -77,47 +93,93 @@ class Calibration:
         yet; it falls back to the RBD figure (both build two-stage split
         tables of comparable size), and anything unmeasured costs zero —
         calibration only ever *adds* measured overhead, never invents it.
+
+        The measured plan-cache hit rate discounts the steady-state cost:
+        a fraction ``hit_rate`` of steps pay only ``warm_cost_ratio`` of
+        the cold build (hit rate 0 — no cache measured — charges the full
+        build every step, exactly the pre-cache behavior).
         """
         per_assignment = self.plan_build_seconds_per_assignment.get(dispatch_kind)
         if per_assignment is None and dispatch_kind == "hier":
             per_assignment = self.plan_build_seconds_per_assignment.get("rbd")
         if per_assignment is None:
             return 0.0
-        return per_assignment * assignments
+        base = per_assignment * assignments
+        hit_rate = min(max(self.plan_cache_hit_rate, 0.0), 1.0)
+        ratio = max(self.plan_cache_warm_cost_ratio, 0.0)
+        return base * ((1.0 - hit_rate) + hit_rate * ratio)
 
 
-def _record_fields(path: Path) -> tuple[dict, float, float] | None:
-    """Parse one JSON record into (plan rates, route rate, time scale).
+def _plan_cache_fields(record: dict) -> tuple[float, float] | None:
+    """Extract ``(hit_rate, warm_cost_ratio)`` from a record, if present."""
+    payload = record.get("plan_cache")
+    if not isinstance(payload, dict):
+        return None
+    hit_rate = payload.get("hit_rate")
+    ratio = payload.get("warm_cost_ratio")
+    if not isinstance(hit_rate, (int, float)) or not 0.0 <= hit_rate <= 1.0:
+        return None
+    if not isinstance(ratio, (int, float)) or ratio < 0:
+        return None
+    return float(hit_rate), float(ratio)
 
-    Understands both record shapes of the ``benchmarks/results/`` family:
-    ``dispatch_plan_micro.json`` (per-kind plan-build seconds) and
-    ``step_runtime_micro.json`` (batched route + PFT seconds).  Returns
-    ``None`` when the file holds neither.
+
+def _record_fields(path: Path) -> tuple[dict, float, float, tuple | None] | None:
+    """Parse one JSON record into (plan rates, route rate, scale, cache).
+
+    Understands the record shapes of the ``benchmarks/results/`` family:
+    ``dispatch_plan_micro.json`` (per-kind plan-build seconds),
+    ``step_runtime_micro.json`` (batched route + PFT seconds), and
+    ``plan_cache_micro.json`` (steady-state hit rate + warm cost ratio).
+    Returns ``None`` when the file holds none of those; a malformed or
+    partially-written file (interrupted benchmark dump, truncated JSON,
+    non-object payload) is skipped with a warning instead of raising, so
+    one bad record never takes down calibration for the rest.
     """
     try:
         record = json.loads(path.read_text())
-    except (OSError, ValueError):
+    except (OSError, ValueError) as exc:
+        warnings.warn(
+            f"skipping unreadable benchmark record {path}: {exc}",
+            stacklevel=2,
+        )
+        return None
+    if not isinstance(record, dict):
+        warnings.warn(
+            f"skipping malformed benchmark record {path}: not a JSON object",
+            stacklevel=2,
+        )
         return None
     seconds = record.get("seconds", {})
     workload = record.get("workload", {})
+    if not isinstance(seconds, dict) or not isinstance(workload, dict):
+        warnings.warn(
+            f"skipping malformed benchmark record {path}: bad seconds/workload",
+            stacklevel=2,
+        )
+        return None
+    plan_cache = _plan_cache_fields(record)
     assignments = workload.get("assignments")
     if not isinstance(assignments, (int, float)) or assignments <= 0:
-        return None
+        if plan_cache is None:
+            return None
+        assignments = 0.0
     per_assignment: dict[str, float] = {}
-    for kind, key in (("flat", "flat_plan_build"), ("rbd", "rbd_plan_build")):
-        value = seconds.get(key)
-        if isinstance(value, (int, float)) and value > 0:
-            per_assignment[kind] = float(value) / float(assignments)
     route_rate = 0.0
-    route_value = seconds.get("batched_route_pft")
-    if isinstance(route_value, (int, float)) and route_value > 0:
-        route_rate = float(route_value) / float(assignments)
-    if not per_assignment and not route_rate:
+    if assignments > 0:
+        for kind, key in (("flat", "flat_plan_build"), ("rbd", "rbd_plan_build")):
+            value = seconds.get(key)
+            if isinstance(value, (int, float)) and value > 0:
+                per_assignment[kind] = float(value) / float(assignments)
+        route_value = seconds.get("batched_route_pft")
+        if isinstance(route_value, (int, float)) and route_value > 0:
+            route_rate = float(route_value) / float(assignments)
+    if not per_assignment and not route_rate and plan_cache is None:
         return None
     scale = record.get("model_time_scale", 1.0)
     if not isinstance(scale, (int, float)) or scale <= 0:
         scale = 1.0
-    return per_assignment, route_rate, float(scale)
+    return per_assignment, route_rate, float(scale), plan_cache
 
 
 def load_calibration(path: str | Path | None = None) -> Calibration:
@@ -142,12 +204,13 @@ def load_calibration(path: str | Path | None = None) -> Calibration:
     plan_rates: dict[str, float] = {}
     route_rate = 0.0
     time_scale = 1.0
+    cache_fields: tuple | None = None
     sources: list[str] = []
     for record_path in paths:
         fields = _record_fields(record_path)
         if fields is None:
             continue
-        per_assignment, record_route, scale = fields
+        per_assignment, record_route, scale, record_cache = fields
         used = False
         if per_assignment and not plan_rates:
             plan_rates = per_assignment
@@ -155,17 +218,23 @@ def load_calibration(path: str | Path | None = None) -> Calibration:
         if record_route and not route_rate:
             route_rate = record_route
             used = True
+        if record_cache is not None and cache_fields is None:
+            cache_fields = record_cache
+            used = True
         if used:
             # Any used record may carry model_time_scale; the first
             # *non-default* value wins (records without the key read 1.0).
             if time_scale == 1.0 and scale != 1.0:
                 time_scale = scale
             sources.append(str(record_path))
-    if not plan_rates and not route_rate:
+    if not plan_rates and not route_rate and cache_fields is None:
         return Calibration.identity()
+    hit_rate, warm_ratio = cache_fields if cache_fields is not None else (0.0, 1.0)
     return Calibration(
         plan_build_seconds_per_assignment=plan_rates,
         route_seconds_per_assignment=route_rate,
         time_scale=time_scale,
+        plan_cache_hit_rate=hit_rate,
+        plan_cache_warm_cost_ratio=warm_ratio,
         source="; ".join(sources),
     )

@@ -1,0 +1,72 @@
+"""Smoke tests for scripts/bench_summary.py (the perf-trajectory table).
+
+The aggregator must surface every ``speedup*`` figure (scalar or per-key
+dict) and the plan-cache block from well-formed records, skip malformed or
+truncated ones with a note (same warn-and-skip contract as
+``repro.tuner.load_calibration``), and exit 0 whether or not anything has
+been measured yet.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parents[1] / "scripts" / "bench_summary.py"
+
+
+def load_summary():
+    spec = importlib.util.spec_from_file_location("bench_summary", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("bench_summary", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_collects_speedups_and_plan_cache(tmp_path):
+    summary = load_summary()
+    (tmp_path / "dispatch_plan_micro.json").write_text(
+        json.dumps(
+            {"workload": {}, "seconds": {}, "speedup_vs_seed_bookkeeping": 10.13}
+        )
+    )
+    (tmp_path / "plan_cache_micro.json").write_text(
+        json.dumps(
+            {
+                "workload": {},
+                "seconds": {},
+                "speedup_warm_vs_cold": {"flat_ep32": 3.0, "hier_ep32": 4.6},
+                "plan_cache": {"hit_rate": 0.909, "warm_cost_ratio": 0.05},
+            }
+        )
+    )
+    rows, skipped = summary.collect_rows(tmp_path)
+    assert not skipped
+    metrics = {(r[0], r[1]): r[2] for r in rows}
+    assert metrics[("dispatch_plan_micro", "speedup_vs_seed_bookkeeping")] == "10.13x"
+    assert metrics[("plan_cache_micro", "speedup_warm_vs_cold[flat_ep32]")] == "3.00x"
+    assert metrics[("plan_cache_micro", "speedup_warm_vs_cold[hier_ep32]")] == "4.60x"
+    assert metrics[("plan_cache_micro", "plan_cache.hit_rate")] == "90.9%"
+    assert metrics[("plan_cache_micro", "plan_cache.warm_cost_ratio")] == "0.050"
+    table = summary.format_table(rows)
+    assert "benchmark" in table and "plan_cache.hit_rate" in table
+
+
+def test_skips_malformed_records(tmp_path):
+    summary = load_summary()
+    (tmp_path / "truncated.json").write_text('{"speedup": 1.')
+    (tmp_path / "not_object.json").write_text("[1, 2]")
+    (tmp_path / "ok.json").write_text(json.dumps({"speedup_x": 2.0}))
+    rows, skipped = summary.collect_rows(tmp_path)
+    assert skipped == ["not_object.json", "truncated.json"]
+    assert rows == [("ok", "speedup_x", "2.00x")]
+
+
+def test_main_exits_zero(tmp_path, capsys):
+    summary = load_summary()
+    assert summary.main(["--results-dir", str(tmp_path)]) == 0
+    assert summary.main(["--results-dir", str(tmp_path / "missing")]) == 0
+    (tmp_path / "bad.json").write_text("{")
+    assert summary.main(["--results-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "skipped malformed record bad.json" in out

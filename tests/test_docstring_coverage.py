@@ -52,6 +52,11 @@ def _enforced_files() -> list[Path]:
     return files
 
 
+def test_plan_cache_module_is_enforced():
+    """The plan-cache module rides under the routing D1 umbrella."""
+    assert SRC / "routing" / "plan_cache.py" in _enforced_files()
+
+
 @pytest.mark.parametrize("path", _enforced_files(), ids=lambda p: str(p.relative_to(SRC)))
 def test_public_api_is_docstringed(path):
     missing = _missing_docstrings(path)
