@@ -9,13 +9,39 @@ module's docstring states the expected shape.
 
 from __future__ import annotations
 
+import json
 import sys
+import time
 from pathlib import Path
 
 try:  # pragma: no cover
     import repro  # noqa: F401
 except ModuleNotFoundError:  # pragma: no cover
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def write_record(name: str, record: dict) -> None:
+    """Persist one benchmark record: newest snapshot + trajectory history.
+
+    Writes ``results/<name>.json`` (what ``scripts/bench_summary.py``
+    tabulates and the tuner calibrates from) and appends the same record to
+    ``results/<name>.history.jsonl`` — the per-machine trajectory that
+    ``bench_summary.py --check`` compares new runs against.  Best-effort:
+    an unwritable results dir (sandboxed CI) must not fail the benchmark.
+    """
+    entry = dict(record)
+    entry.setdefault("recorded_unix", round(time.time(), 3))
+    try:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(entry, indent=2, sort_keys=True) + "\n"
+        )
+        with (RESULTS_DIR / f"{name}.history.jsonl").open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    except OSError:  # pragma: no cover - sandboxed runners
+        pass
 
 
 def print_table(title: str, rows: list[dict]) -> None:

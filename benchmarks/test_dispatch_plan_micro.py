@@ -23,14 +23,12 @@ vectorized planner beats the seed bookkeeping by >= 10x (tunable via
 """
 
 import gc
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 
-from conftest import print_table
+from conftest import print_table, write_record
 
 from repro.comm import CommWorld
 from repro.routing import make_dispatcher
@@ -41,7 +39,6 @@ S, K, E, NODES, HIDDEN = 4096, 8, 64, 8, 64
 RANKS = E  # one expert per rank, 8 ranks per Frontier node
 TOKENS_PER_RANK = S // RANKS
 
-RESULTS_PATH = Path(__file__).parent / "results" / "dispatch_plan_micro.json"
 
 
 def build_workload(seed=0):
@@ -257,14 +254,7 @@ def test_dispatch_plan_micro():
         },
         "speedup_vs_seed_bookkeeping": round(speedup, 2),
     }
-    # The record is a machine-local convenience, not a test artifact: create
-    # benchmarks/results/ on demand and tolerate read-only checkouts (CI
-    # caches, sandboxed runners) by skipping the write instead of failing.
-    try:
-        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    except OSError as exc:
-        print(f"note: skipping perf-record write to {RESULTS_PATH} ({exc})")
+    write_record("dispatch_plan_micro", record)
 
     print_table(
         f"Dispatch-plan micro-benchmark (S={S}, k={K}, E={E}, {NODES} nodes)",

@@ -24,13 +24,11 @@ steady-state workloads stop being over-charged for plan builds.
 """
 
 import gc
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
-from conftest import print_table
+from conftest import print_table, write_record
 
 from repro.comm import CommWorld
 from repro.routing import PlanCache, make_dispatcher, make_policy
@@ -51,7 +49,6 @@ PERTURB_FRACTION = 0.03
 #: distinct perturbed steps in the steady-state cycle.
 CYCLE = 8
 
-RESULTS_PATH = Path(__file__).parent / "results" / "plan_cache_micro.json"
 MIN_SPEEDUP = float(os.environ.get("PLAN_CACHE_MIN_SPEEDUP", "2.0"))
 
 
@@ -254,11 +251,7 @@ def test_plan_cache_micro():
         },
         "plan_cache": cache_block,
     }
-    try:
-        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    except OSError as exc:
-        print(f"note: skipping perf-record write to {RESULTS_PATH} ({exc})")
+    write_record("plan_cache_micro", record)
 
     # The acceptance bar: warm steady-state steps must pay off at scale for
     # every dispatch kind.

@@ -21,13 +21,11 @@ measured per-assignment routing cost into tuner scoring.
 """
 
 import gc
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
-from conftest import print_table
+from conftest import print_table, write_record
 
 from repro.comm import CommWorld
 from repro.routing import make_dispatcher, make_policy
@@ -42,7 +40,6 @@ TOKENS_PER_RANK, HIDDEN = 64, 32
 SKEW, SEED, STEPS = 1.2, 0, 3
 ROUTER = "softmax-topk"
 
-RESULTS_PATH = Path(__file__).parent / "results" / "step_runtime_micro.json"
 MIN_SPEEDUP = float(os.environ.get("STEP_RUNTIME_MIN_SPEEDUP", "2.0"))
 
 
@@ -171,13 +168,7 @@ def test_step_runtime_micro():
         },
         "speedup_vs_per_rank_loop": {str(ep): round(s, 2) for ep, s in speedups.items()},
     }
-    # Machine-local perf record; tolerate read-only checkouts like the
-    # dispatch-plan micro-benchmark does.
-    try:
-        RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-        RESULTS_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    except OSError as exc:
-        print(f"note: skipping perf-record write to {RESULTS_PATH} ({exc})")
+    write_record("step_runtime_micro", record)
 
     # The acceptance bar: batching must pay off where it matters most.
     assert speedups[32] >= MIN_SPEEDUP, (

@@ -13,7 +13,17 @@ folds into tuner scoring.
 Malformed or partially-written records (an interrupted benchmark dump)
 are skipped with a note, mirroring the tuner's own warn-and-skip loader.
 
-Run:  python scripts/bench_summary.py [--results-dir DIR]
+With ``--check`` the script becomes a perf-regression gate: for every
+``*.history.jsonl`` trajectory (appended by ``benchmarks/conftest.py``'s
+``write_record``), the newest record's higher-is-better figures
+(``speedup*``, plan-cache hit rate) are compared against the median of the
+prior entries; any figure below ``(1 - tolerance) x median`` fails the
+gate with a non-zero exit.  Tolerance comes from
+``BENCH_REGRESSION_TOLERANCE`` (default 0.25 — micro-benchmarks on shared
+runners are noisy) or ``--tolerance``.  Trajectories with fewer than two
+entries are skipped: one record is a baseline, not a trend.
+
+Run:  python scripts/bench_summary.py [--results-dir DIR] [--check]
 Exits 0 even when no records exist (nothing measured is not an error).
 """
 
@@ -21,11 +31,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import statistics
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
 DEFAULT_RESULTS_DIR = REPO / "benchmarks" / "results"
+DEFAULT_TOLERANCE = 0.25
 
 
 def summarize_record(name: str, record: dict) -> list[tuple[str, str, str]]:
@@ -70,6 +83,86 @@ def collect_rows(results_dir: Path) -> tuple[list[tuple[str, str, str]], list[st
     return rows, skipped
 
 
+def numeric_metrics(record: dict) -> dict[str, float]:
+    """The record's higher-is-better figures, flattened to ``{name: value}``.
+
+    Covers scalar and per-case ``speedup*`` entries plus the plan-cache
+    steady-state hit rate — exactly the figures the summary table prints,
+    so the gate and the table can never disagree about what is tracked.
+    """
+    out: dict[str, float] = {}
+    for key in sorted(record):
+        if not key.startswith("speedup"):
+            continue
+        value = record[key]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+        elif isinstance(value, dict):
+            for sub in sorted(value):
+                sub_value = value[sub]
+                if isinstance(sub_value, (int, float)) and not isinstance(sub_value, bool):
+                    out[f"{key}[{sub}]"] = float(sub_value)
+    plan_cache = record.get("plan_cache")
+    if isinstance(plan_cache, dict):
+        hit_rate = plan_cache.get("hit_rate")
+        if isinstance(hit_rate, (int, float)) and not isinstance(hit_rate, bool):
+            out["plan_cache.hit_rate"] = float(hit_rate)
+    return out
+
+
+def check_trajectories(
+    results_dir: Path, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare each trajectory's newest record against its prior entries.
+
+    Returns ``(regressions, notes)`` — human-readable lines.  A metric
+    regresses when the newest value drops below ``(1 - tolerance)`` times
+    the median of every prior entry's value for that metric.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path in sorted(results_dir.glob("*.history.jsonl")):
+        name = path.name[: -len(".history.jsonl")]
+        entries = []
+        for line in path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+        if len(entries) < 2:
+            notes.append(f"{name}: {len(entries)} record(s) — no trajectory yet")
+            continue
+        newest = numeric_metrics(entries[-1])
+        floor_scale = 1.0 - tolerance
+        for metric, value in sorted(newest.items()):
+            prior = [
+                m[metric]
+                for m in (numeric_metrics(e) for e in entries[:-1])
+                if metric in m
+            ]
+            if not prior:
+                continue
+            baseline = statistics.median(prior)
+            floor = floor_scale * baseline
+            if value < floor:
+                regressions.append(
+                    f"{name}: {metric} = {value:.3f} < {floor:.3f} "
+                    f"(median of {len(prior)} prior = {baseline:.3f}, "
+                    f"tolerance {tolerance:.0%})"
+                )
+            else:
+                notes.append(
+                    f"{name}: {metric} = {value:.3f} ok "
+                    f"(median of {len(prior)} prior = {baseline:.3f})"
+                )
+    return regressions, notes
+
+
 def format_table(rows: list[tuple[str, str, str]]) -> str:
     """Render rows as an aligned three-column text table."""
     headers = ("benchmark", "metric", "value")
@@ -94,6 +187,18 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_RESULTS_DIR,
         help="directory of benchmark JSON records (default: benchmarks/results)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate mode: fail when the newest record of any trajectory regresses",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional drop vs the trajectory median "
+        "(default: BENCH_REGRESSION_TOLERANCE env or 0.25)",
+    )
     args = parser.parse_args(argv)
     if not args.results_dir.is_dir():
         print(f"no results directory at {args.results_dir} — nothing measured yet")
@@ -105,6 +210,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no benchmark records under {args.results_dir} — run benchmarks/ first")
     for name in skipped:
         print(f"note: skipped malformed record {name}")
+    if args.check:
+        tolerance = args.tolerance
+        if tolerance is None:
+            tolerance = float(
+                os.environ.get("BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE)
+            )
+        regressions, notes = check_trajectories(args.results_dir, tolerance)
+        print()
+        for line in notes:
+            print(f"check: {line}")
+        for line in regressions:
+            print(f"REGRESSION: {line}")
+        if regressions:
+            print(f"\nperf gate FAILED: {len(regressions)} regressed metric(s)")
+            return 1
+        print("perf gate passed")
     return 0
 
 

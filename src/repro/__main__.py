@@ -8,6 +8,7 @@ Usage::
     python -m repro fig13       # SSMB memory saving vs TP degree
     python -m repro configs     # Table 3 model configurations
     python -m repro tune        # auto-tune a parallel plan for a cluster
+    python -m repro obs         # record a traced run; summarize / export it
 
 Each subcommand prints the corresponding rows; the full benchmark harness
 (with assertions on the expected shapes) lives under ``benchmarks/``.
@@ -137,6 +138,41 @@ def _cmd_tune(args) -> None:
     )
 
 
+def _cmd_obs(args) -> None:
+    from repro.obs import (
+        record_routing_run,
+        summary_table,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+
+    tracer, registry, telemetry = record_routing_run(
+        router=args.router,
+        dispatch=args.dispatch,
+        num_ranks=args.ranks,
+        top_k=args.top_k,
+        tokens_per_rank=args.tokens,
+        steps=args.steps,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    print(
+        f"recorded {args.steps} steps: router={args.router} dispatch={args.dispatch} "
+        f"ranks={args.ranks} tokens/rank={args.tokens}"
+    )
+    print()
+    print(summary_table(tracer))
+    print()
+    summary = telemetry.summary()
+    print("telemetry: " + ", ".join(f"{k}={v}" for k, v in summary.items()))
+    if args.trace_out:
+        path = write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote Perfetto trace: {path} (open at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        path = write_metrics_json(args.metrics_out, registry)
+        print(f"wrote metrics snapshot: {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -166,6 +202,29 @@ def main(argv: list[str] | None = None) -> int:
         help="fold measured micro-benchmark constants from benchmarks/results/ in",
     )
     tune.set_defaults(fn=_cmd_tune)
+    obs = sub.add_parser(
+        "obs", help="record one traced routing run; summarize / export it"
+    )
+    obs.add_argument("--router", default="softmax-topk", help="router policy name")
+    obs.add_argument(
+        "--dispatch", choices=("flat", "rbd", "hier"), default="flat",
+        help="dispatch strategy to trace",
+    )
+    obs.add_argument("--ranks", type=int, default=8, help="EP group size")
+    obs.add_argument("--top-k", type=int, default=2, help="experts per token")
+    obs.add_argument("--tokens", type=int, default=64, help="tokens per rank per step")
+    obs.add_argument("--steps", type=int, default=4, help="steps to record")
+    obs.add_argument("--skew", type=float, default=1.0, help="Zipf skew of the batches")
+    obs.add_argument("--seed", type=int, default=0, help="recording seed")
+    obs.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace JSON here",
+    )
+    obs.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry snapshot JSON here",
+    )
+    obs.set_defaults(fn=_cmd_obs)
     args = parser.parse_args(argv)
     args.fn(args)
     return 0

@@ -12,6 +12,7 @@ benchmarks read out.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,6 +21,8 @@ from repro.cluster.device import SimDevice
 from repro.cluster.network import NetworkModel
 from repro.cluster.topology import LinkTier, Topology
 from repro.config.hardware import SystemSpec, frontier_system
+from repro.obs import tracer as obs
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -36,13 +39,44 @@ class CommEvent:
 
 @dataclass
 class CommStats:
-    """Accumulated communication statistics."""
+    """Accumulated communication statistics.
+
+    When a :class:`~repro.obs.metrics.MetricsRegistry` is attached
+    (``stats.metrics = registry``), every recorded event is also published
+    as counters — ``comm_calls{op}``, ``comm_modeled_seconds{op}``,
+    ``comm_bytes{op, tier}`` — including events replayed by the plan
+    cache's fused executor, so the registry view never undercounts warm
+    steps.
+    """
 
     events: list[CommEvent] = field(default_factory=list)
+    #: optional metrics sink; events are published to it as they record.
+    metrics: MetricsRegistry | None = None
 
     def record(self, event: CommEvent) -> None:
-        """Append one collective's record."""
+        """Append one collective's record (and publish it, if wired)."""
         self.events.append(event)
+        registry = self.metrics
+        if registry is not None:
+            registry.counter("comm_calls", "op").labels(op=event.op).inc()
+            registry.counter("comm_modeled_seconds", "op").labels(op=event.op).inc(
+                event.seconds
+            )
+            by_tier = registry.counter("comm_bytes", "op", "tier")
+            for tier, nbytes in event.bytes_by_tier.items():
+                by_tier.labels(op=event.op, tier=getattr(tier, "name", tier)).inc(
+                    float(nbytes)
+                )
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """A new window holding this window's events followed by ``other``'s.
+
+        Summaries over the merged window (total seconds/bytes, per-op and
+        per-tier groupings) equal the sums of the two inputs' summaries —
+        the aggregation property the unit tests pin down.  The merged
+        window has no metrics sink (its inputs already published).
+        """
+        return CommStats(events=list(self.events) + list(other.events))
 
     @property
     def total_seconds(self) -> float:
@@ -122,6 +156,33 @@ class CommWorld:
         return self.group(self.topology.ranks_on_node(node))
 
 
+def _comm_span(default_op: str):
+    """Wrap a recording collective in a ``category="comm"`` span.
+
+    The span is named after the effective ``op_name`` (callers relabel
+    collectives — e.g. hierarchical dispatch stages — via that kwarg) and
+    opens with the group's global ranks attached, which is what lets the
+    Chrome-trace exporter place the event on every participating rank's
+    track.  ``_record`` fills in bytes/tier attributes from inside the
+    span.  Only the primitives that call ``_record`` are wrapped;
+    delegating wrappers (``alltoall_single`` → ``alltoall``) inherit the
+    primitive's span, so each collective traces exactly once.
+    """
+
+    def wrap(fn):
+        """Decorate ``fn`` so each call runs inside its comm span."""
+
+        @functools.wraps(fn)
+        def inner(self, *args, op_name: str = default_op, **kwargs):
+            """Run the collective inside an ``op_name`` comm span."""
+            with obs.span(op_name, "comm", ranks=self.ranks):
+                return fn(self, *args, op_name=op_name, **kwargs)
+
+        return inner
+
+    return wrap
+
+
 class ProcessGroup:
     """A subset of ranks with functional + costed collectives.
 
@@ -146,16 +207,27 @@ class ProcessGroup:
 
     # ------------------------------------------------------------------
     def _record(self, op: str, traffic: np.ndarray, estimate) -> None:
-        self.world.stats.record(
-            CommEvent(
-                op=op,
-                group_size=self.size,
-                total_bytes=float(np.asarray(traffic).sum()),
-                seconds=estimate.seconds,
-                bottleneck_tier=estimate.bottleneck_tier,
-                bytes_by_tier=dict(estimate.bytes_by_tier),
-            )
+        event = CommEvent(
+            op=op,
+            group_size=self.size,
+            total_bytes=float(np.asarray(traffic).sum()),
+            seconds=estimate.seconds,
+            bottleneck_tier=estimate.bottleneck_tier,
+            bytes_by_tier=dict(estimate.bytes_by_tier),
         )
+        self.world.stats.record(event)
+        span = obs.current()
+        if span is not None and span.category == "comm":
+            span.set(
+                op=op,
+                bytes=event.total_bytes,
+                modeled_seconds=event.seconds,
+                bottleneck_tier=event.bottleneck_tier,
+                bytes_by_tier={
+                    getattr(tier, "name", tier): float(nbytes)
+                    for tier, nbytes in event.bytes_by_tier.items()
+                },
+            )
 
     def _charge_memory(self, local_rank: int, tag: str, arrays) -> None:
         if not self.world.track_memory:
@@ -165,6 +237,7 @@ class ProcessGroup:
         device.alloc(tag, nbytes)
 
     # ------------------------------------------------------------------
+    @_comm_span("alltoall")
     def alltoall(self, chunks: list[list[np.ndarray]], *, op_name: str = "alltoall"):
         """Generic all-to-all of per-destination numpy chunks.
 
@@ -254,6 +327,7 @@ class ProcessGroup:
                 out.append(np.empty((0,)))
         return out, recv_splits
 
+    @_comm_span("alltoallv")
     def alltoallv_planned(
         self,
         buffers: list[np.ndarray],
@@ -321,6 +395,7 @@ class ProcessGroup:
             recv_splits = [splits_mat[:, j].copy() for j in range(size)]
         return received, recv_splits
 
+    @_comm_span("allgather")
     def allgather(self, buffers: list[np.ndarray], *, op_name: str = "allgather"):
         """All-gather along axis 0: every rank receives the concatenation of
         all ranks' buffers (in rank order)."""
@@ -334,6 +409,7 @@ class ProcessGroup:
         gathered = np.concatenate(buffers, axis=0)
         return [gathered.copy() for _ in range(self.size)]
 
+    @_comm_span("allreduce")
     def allreduce(
         self, buffers: list[np.ndarray], *, op: str = "sum", op_name: str = "allreduce"
     ):
@@ -359,6 +435,7 @@ class ProcessGroup:
         self._record(op_name, traffic, estimate)
         return [reduced.copy() for _ in range(self.size)]
 
+    @_comm_span("reduce_scatter")
     def reduce_scatter(
         self, buffers: list[np.ndarray], *, op_name: str = "reduce_scatter"
     ):
@@ -379,6 +456,7 @@ class ProcessGroup:
         self._record(op_name, traffic, estimate)
         return [s.copy() for s in slices]
 
+    @_comm_span("broadcast")
     def broadcast(self, buffer: np.ndarray, root: int = 0, *, op_name: str = "broadcast"):
         """Broadcast ``buffer`` (held by local rank ``root``) to every rank."""
         if not (0 <= root < self.size):

@@ -1,0 +1,62 @@
+"""``repro.obs`` — structured tracing + metrics for the whole runtime.
+
+The observability subsystem unifies what used to be three disconnected
+fragments (:class:`~repro.routing.telemetry.RoutingTelemetry` routing
+tallies, :class:`~repro.comm.process_group.CommStats` byte accounting,
+:class:`~repro.runtime.step.StepTrace` per-step hooks) behind two
+primitives and their exporters:
+
+* :mod:`repro.obs.tracer` — nested wall-clock spans with typed
+  attributes and a ~free no-op path when no collector is attached.  The
+  step runtime, plan cache, comm collectives, tuner, and trainer are
+  permanently instrumented; attach a :class:`Tracer` (via
+  :func:`use_tracer`) to record.
+* :mod:`repro.obs.metrics` — Counter/Gauge/Histogram families with label
+  sets and mergeable snapshots; ``RoutingTelemetry`` and ``CommStats``
+  publish here.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (loads in Perfetto,
+  comm spans on per-rank tracks), a metrics JSON snapshot, and a text
+  summary table.
+
+Record-and-export in one call: :func:`record_routing_run` drives an
+instrumented routing workload and returns ``(tracer, registry,
+telemetry)`` — the ``repro obs`` CLI subcommand is a thin wrapper over it.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    summary_table,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.recording import record_routing_run
+from repro.obs.tracer import Span, Tracer, attach, current, detach, span, use_tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "attach",
+    "chrome_trace",
+    "current",
+    "detach",
+    "merge_snapshots",
+    "metrics_json",
+    "record_routing_run",
+    "span",
+    "summary_table",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

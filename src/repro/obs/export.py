@@ -1,0 +1,189 @@
+"""Exporters: Perfetto-loadable Chrome trace JSON, metrics JSON, text tables.
+
+Three ways out of a recording window:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (``{"traceEvents": [...]}``, complete ``"ph": "X"``
+  events with microsecond ``ts``/``dur``), which Perfetto's UI
+  (https://ui.perfetto.dev) loads directly.  Runtime/step spans land on
+  the main track (tid 0); **comm spans are duplicated onto one track per
+  participating rank** (tid ``1 + global rank``), so the timeline shows
+  which ranks each collective touched, with op, bytes, and per-tier byte
+  splits in the event ``args``.
+* :func:`metrics_json` / :func:`write_metrics_json` — the registry
+  snapshot plus a schema tag, one JSON document.
+* :func:`summary_table` — an aligned text table attributing recorded
+  wall-clock to span names (count / total / mean / share of the recording
+  window), the ``repro obs`` CLI's default output.
+
+Span attributes are sanitized for JSON (numpy scalars unwrapped, enums
+named, arrays summarized) by :func:`_json_safe`, so instrumentation sites
+can attach whatever they have without worrying about serializability.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "metrics_json",
+    "summary_table",
+    "write_chrome_trace",
+    "write_metrics_json",
+]
+
+#: tid of the main (runtime/step/tuner/trainer) track.
+MAIN_TID = 0
+#: comm spans land on tid = COMM_TID_BASE + global rank.
+COMM_TID_BASE = 1
+
+
+def _json_safe(value):
+    """Best-effort conversion of a span attribute to a JSON-safe value."""
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {str(_json_safe(k)): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    for caster in (float, str):
+        try:
+            return caster(value)
+        except (TypeError, ValueError):  # pragma: no cover - str() rarely fails
+            continue
+    return repr(value)  # pragma: no cover
+
+
+def _event(span: Span, origin: float, tid: int) -> dict:
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": round((span.start - origin) * 1e6, 3),
+        "dur": round(span.seconds * 1e6, 3),
+        "pid": 0,
+        "tid": tid,
+        "args": {k: _json_safe(v) for k, v in span.attrs.items()},
+    }
+
+
+def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
+    """The tracer's spans as a Chrome trace-event JSON document.
+
+    Comm-category spans carrying a ``ranks`` attribute are emitted once
+    per participating rank on that rank's own track; every other span goes
+    on the main track.  Thread-name metadata events label the tracks, so
+    Perfetto shows "main" and "rank N comm" lanes.
+    """
+    origin = tracer.origin
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": MAIN_TID,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": MAIN_TID,
+            "args": {"name": "main"},
+        },
+    ]
+    comm_tids: set[int] = set()
+    for span in sorted(tracer.spans, key=lambda s: s.start):
+        ranks = span.attrs.get("ranks")
+        if span.category == "comm" and ranks is not None:
+            for rank in ranks:
+                tid = COMM_TID_BASE + int(rank)
+                comm_tids.add(tid)
+                events.append(_event(span, origin, tid))
+        else:
+            events.append(_event(span, origin, MAIN_TID))
+    for tid in sorted(comm_tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"rank {tid - COMM_TID_BASE} comm"},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path, tracer: Tracer, *, process_name: str = "repro") -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(tracer, process_name=process_name)) + "\n")
+    return path
+
+
+def metrics_json(registry: MetricsRegistry) -> dict:
+    """The registry snapshot wrapped with a schema tag."""
+    return {"schema": "repro.obs.metrics/v1", "metrics": registry.snapshot()}
+
+
+def write_metrics_json(path, registry: MetricsRegistry) -> Path:
+    """Serialize :func:`metrics_json` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(metrics_json(registry), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def summary_table(tracer: Tracer) -> str:
+    """Wall-clock attribution by span name, as an aligned text table.
+
+    One row per distinct span name: call count, total / mean milliseconds,
+    and the share of the recording window (first span start → last span
+    end).  Comm spans additionally show their total bytes when the
+    instrumentation attached a ``bytes`` attribute.
+    """
+    if not tracer.spans:
+        return "(no spans recorded)"
+    totals: dict[str, dict] = {}
+    for span in tracer.spans:
+        row = totals.setdefault(
+            span.name, {"category": span.category, "count": 0, "seconds": 0.0, "bytes": 0.0}
+        )
+        row["count"] += 1
+        row["seconds"] += span.seconds
+        row["bytes"] += float(span.attrs.get("bytes", 0.0) or 0.0)
+    window = max(
+        s.end for s in tracer.spans if s.end is not None
+    ) - min(s.start for s in tracer.spans)
+    window = max(window, 1e-12)
+
+    headers = ("span", "cat", "count", "total ms", "mean ms", "share", "bytes")
+    rows = []
+    for name in sorted(totals, key=lambda n: -totals[n]["seconds"]):
+        row = totals[name]
+        rows.append(
+            (
+                name,
+                row["category"],
+                str(row["count"]),
+                f"{row['seconds'] * 1e3:.3f}",
+                f"{row['seconds'] * 1e3 / row['count']:.3f}",
+                f"{row['seconds'] / window:.1%}",
+                f"{row['bytes'] / 1e6:.2f} MB" if row["bytes"] else "-",
+            )
+        )
+    widths = [max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(len(headers))]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [" | ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)

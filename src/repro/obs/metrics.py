@@ -1,0 +1,277 @@
+"""Counter / Gauge / Histogram metrics with label sets and mergeable snapshots.
+
+The metrics registry is the durable-numbers half of :mod:`repro.obs`: where
+the tracer answers "where did this step's time go", the registry answers
+"how much, in total, across the run" — routed assignments, dropped tokens,
+dispatch bytes by link tier, plan-cache resolutions by outcome, collective
+seconds by op.  :class:`~repro.routing.telemetry.RoutingTelemetry` and
+:class:`~repro.comm.process_group.CommStats` publish into a registry
+instead of keeping private scalar tallies, so every consumer (the summary
+tables, the JSON exporter, future serving/elasticity loops) reads one
+surface.
+
+Three instrument kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing float (``inc``);
+* :class:`Gauge` — last-written value (``set_value``);
+* :class:`Histogram` — running count/sum/min/max (``observe``).
+
+A *family* (what :meth:`MetricsRegistry.counter` returns) holds one child
+instrument per label-value tuple: ``reg.counter("comm_bytes", "op",
+"tier").labels(op="a2a", tier="INTER_NODE").inc(n)``.  Families with no
+label names have exactly one child (the empty label tuple), and the family
+itself proxies ``inc``/``set_value``/``observe``/``value`` to it, so
+unlabeled metrics read naturally.
+
+Snapshots (:meth:`MetricsRegistry.snapshot`) are plain nested dicts —
+JSON-ready — and :func:`merge_snapshots` combines any two: counters and
+histograms add, gauges take the right-hand (newer) value.  Merging is what
+makes per-shard or per-run registries aggregable without shared state.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+]
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        """The current value (a plain float)."""
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins value (current queue depth, current hit rate)."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set_value(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = float(value)
+
+    def snapshot(self) -> float:
+        """The current value (a plain float)."""
+        return self.value
+
+
+class Histogram:
+    """Running count / sum / min / max over observed samples."""
+
+    kind = "histogram"
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed samples (0.0 before any observation)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def snapshot(self) -> dict:
+        """``{count, sum, min, max}`` (min/max omitted while empty)."""
+        out = {"count": self.count, "sum": self.total}
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric: a child instrument per label-value tuple."""
+
+    __slots__ = ("name", "kind", "label_names", "_children")
+
+    def __init__(self, name: str, kind: str, label_names: tuple):
+        self.name = name
+        self.kind = kind
+        self.label_names = label_names
+        self._children: dict[tuple, object] = {}
+
+    def labels(self, **labels):
+        """The child instrument for one label-value assignment."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = _KINDS[self.kind]()
+            self._children[key] = child
+        return child
+
+    # -- unlabeled conveniences: proxy to the single empty-tuple child --
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.label_names}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabeled counter child."""
+        self._solo().inc(amount)
+
+    def set_value(self, value: float) -> None:
+        """Set the unlabeled gauge child."""
+        self._solo().set_value(value)
+
+    def observe(self, value: float) -> None:
+        """Observe into the unlabeled histogram child."""
+        self._solo().observe(value)
+
+    @property
+    def value(self):
+        """The unlabeled child's current value."""
+        return self._solo().value
+
+    def series(self) -> dict[tuple, object]:
+        """Every (label tuple → child instrument) pair."""
+        return dict(self._children)
+
+    def snapshot(self) -> dict:
+        """JSON-ready: kind, label names, and each series' snapshot."""
+        return {
+            "kind": self.kind,
+            "label_names": list(self.label_names),
+            "series": {
+                _series_key(self.label_names, key): child.snapshot()
+                for key, child in sorted(self._children.items())
+            },
+        }
+
+
+def _series_key(label_names: tuple, values: tuple) -> str:
+    if not label_names:
+        return ""
+    return ",".join(f"{n}={v}" for n, v in zip(label_names, values))
+
+
+class MetricsRegistry:
+    """A namespace of metric families with mergeable snapshots."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _family(self, name: str, kind: str, label_names: tuple) -> _Family:
+        label_names = tuple(label_names)
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, label_names)
+            self._families[name] = family
+            return family
+        if family.kind != kind or family.label_names != label_names:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind} with "
+                f"labels {family.label_names}"
+            )
+        return family
+
+    def counter(self, name: str, *label_names: str) -> _Family:
+        """The counter family called ``name`` (created on first use)."""
+        return self._family(name, "counter", label_names)
+
+    def gauge(self, name: str, *label_names: str) -> _Family:
+        """The gauge family called ``name`` (created on first use)."""
+        return self._family(name, "gauge", label_names)
+
+    def histogram(self, name: str, *label_names: str) -> _Family:
+        """The histogram family called ``name`` (created on first use)."""
+        return self._family(name, "histogram", label_names)
+
+    def families(self) -> dict[str, _Family]:
+        """Every registered family, by name."""
+        return dict(self._families)
+
+    def snapshot(self) -> dict:
+        """JSON-ready nested dict of every family's current state."""
+        return {
+            name: family.snapshot()
+            for name, family in sorted(self._families.items())
+        }
+
+
+def merge_snapshots(left: dict, right: dict) -> dict:
+    """Combine two :meth:`MetricsRegistry.snapshot` dicts.
+
+    Counters and histogram count/sum add; histogram min/max take the
+    elementwise min/max; gauges are last-write-wins (the right operand is
+    the newer reading).  Families present in only one snapshot pass
+    through.  Merging two snapshots of disjoint shards equals one registry
+    that saw both workloads — the property the unit tests pin down.
+    """
+    out: dict = {}
+    for name in sorted(set(left) | set(right)):
+        a, b = left.get(name), right.get(name)
+        if a is None or b is None:
+            src = a if b is None else b
+            out[name] = {
+                "kind": src["kind"],
+                "label_names": list(src["label_names"]),
+                "series": dict(src["series"]),
+            }
+            continue
+        if a["kind"] != b["kind"] or a["label_names"] != b["label_names"]:
+            raise ValueError(f"cannot merge metric {name!r}: kind/labels differ")
+        series: dict = {}
+        for key in sorted(set(a["series"]) | set(b["series"])):
+            va, vb = a["series"].get(key), b["series"].get(key)
+            if va is None or vb is None:
+                series[key] = va if vb is None else vb
+            elif a["kind"] == "counter":
+                series[key] = va + vb
+            elif a["kind"] == "gauge":
+                series[key] = vb
+            else:  # histogram
+                merged = {"count": va["count"] + vb["count"], "sum": va["sum"] + vb["sum"]}
+                if merged["count"]:
+                    merged["min"] = min(va.get("min", float("inf")), vb.get("min", float("inf")))
+                    merged["max"] = max(va.get("max", float("-inf")), vb.get("max", float("-inf")))
+                series[key] = merged
+        out[name] = {"kind": a["kind"], "label_names": list(a["label_names"]), "series": series}
+    return out

@@ -70,6 +70,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.obs import tracer as obs
 from repro.routing.plan import DispatchPlan
 from repro.xmoe.pft import PFT
 
@@ -564,9 +565,10 @@ class PlanCache:
         from repro.routing.policies import RoutingDecision
 
         planner = dispatcher.planner
-        sig = StepSignature.from_decisions(decisions, tokens_per_rank)
-        context = self._context_key(planner, capacity, sig, row_signature, step)
-        key = context + (sig.structure_digest, sig.weight_digest)
+        with obs.span("cache.fingerprint", "plan_cache"):
+            sig = StepSignature.from_decisions(decisions, tokens_per_rank)
+            context = self._context_key(planner, capacity, sig, row_signature, step)
+            key = context + (sig.structure_digest, sig.weight_digest)
 
         entry = self._entries.get(key)
         if entry is not None and entry.sig.matches(sig):
@@ -580,7 +582,8 @@ class PlanCache:
             and source.pft_stack_idx is not None
             and source.sig.structure_matches(sig)
         ):
-            patched = self._weight_patch(source, sig, key, context)
+            with obs.span("cache.weight_patch", "plan_cache"):
+                patched = self._weight_patch(source, sig, key, context)
             self.weight_patches += 1
             return Resolution(
                 patched.pfts, patched.plan, patched.exec_program, "weight_patch", patched
@@ -588,16 +591,20 @@ class PlanCache:
 
         previous = self._last_by_context.get(context)
         if previous is not None:
-            pfts = self._structural_patch(previous, sig, decisions, capacity)
+            with obs.span("cache.structural_patch", "plan_cache") as patch_span:
+                pfts = self._structural_patch(previous, sig, decisions, capacity)
+                patch_span.set(patched=pfts is not None)
             if pfts is not None:
-                plan = dispatcher.plan(pfts, step=step)
+                with obs.span("cache.plan_build", "plan_cache"):
+                    plan = dispatcher.plan(pfts, step=step)
                 entry = self._store(key, context, sig, pfts, plan, capacity)
                 self.patches += 1
                 return Resolution(pfts, plan, None, "patch", entry)
 
-        pfts = RoutingDecision.to_pfts(list(decisions), capacity)
-        plan = dispatcher.plan(pfts, step=step)
-        entry = self._store(key, context, sig, pfts, plan, capacity)
+        with obs.span("cache.cold_build", "plan_cache"):
+            pfts = RoutingDecision.to_pfts(list(decisions), capacity)
+            plan = dispatcher.plan(pfts, step=step)
+            entry = self._store(key, context, sig, pfts, plan, capacity)
         self.misses += 1
         return Resolution(pfts, plan, None, "miss", entry)
 

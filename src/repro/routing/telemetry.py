@@ -8,11 +8,26 @@ dispatched byte counts (split into inter-node vs intra-node tiers) and
 redundancy of the dispatch path.  The simulated trainer records one entry
 per training step; the router-policy and hierarchical-dispatch benchmarks
 print the accumulated summaries as comparison tables.
+
+Since the :mod:`repro.obs` subsystem landed, the scalar tallies live in a
+:class:`~repro.obs.metrics.MetricsRegistry` instead of private attributes:
+pass ``metrics=`` to publish into a shared registry (the ``repro obs``
+recording does), or omit it and the telemetry keeps a private one.  Every
+historical attribute (``steps``, ``assignments``, ``stage1_bytes``, ...)
+is preserved as a property over the registry, so existing consumers read
+exactly what they always did while exporters read the registry snapshot.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import only for annotations
+    from repro.comm.process_group import CommStats
 
 
 def load_balance_entropy(load: np.ndarray) -> float:
@@ -32,32 +47,35 @@ def load_balance_entropy(load: np.ndarray) -> float:
 
 
 class RoutingTelemetry:
-    """Accumulates per-step routing decisions (and optionally plans)."""
+    """Accumulates per-step routing decisions (and optionally plans).
 
-    def __init__(self, num_experts: int):
+    ``metrics`` is the :class:`~repro.obs.metrics.MetricsRegistry` the
+    tallies publish into (a private registry is created when omitted);
+    ``load`` stays a numpy per-expert histogram (registries hold scalars,
+    not arrays).
+    """
+
+    def __init__(self, num_experts: int, *, metrics: MetricsRegistry | None = None):
         if num_experts <= 0:
             raise ValueError("num_experts must be positive")
         self.num_experts = num_experts
-        self.steps = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        reg = self.metrics
         self.load = np.zeros(num_experts, dtype=np.int64)
-        self.assignments = 0
-        self.policy_dropped = 0
-        self.capacity_dropped = 0
-        self.aux_loss_sum = 0.0
-        self.z_loss_sum = 0.0
-        self.stage1_bytes = 0.0
-        self.stage2_bytes = 0.0
-        self.inter_node_bytes = 0.0
-        self.intra_node_bytes = 0.0
-        self.sent_rows = 0
-        self.planned_assignments = 0
-        #: plan-cache resolution tallies, keyed by outcome ("hit",
-        #: "weight_patch", "patch", "miss"); empty until a caching runtime
-        #: records a step.
-        self.plan_cache_outcomes: dict[str, int] = {}
+        self._steps = reg.counter("routing_steps").labels()
+        self._assignments = reg.counter("routing_assignments").labels()
+        self._policy_dropped = reg.counter("routing_policy_dropped").labels()
+        self._capacity_dropped = reg.counter("routing_capacity_dropped").labels()
+        self._aux_loss = reg.histogram("routing_aux_loss").labels()
+        self._z_loss = reg.histogram("routing_z_loss").labels()
+        self._stage_bytes = reg.counter("dispatch_stage_bytes", "stage")
+        self._tier_bytes = reg.counter("dispatch_tier_bytes", "tier")
+        self._sent_rows = reg.counter("dispatch_sent_rows").labels()
+        self._planned_assignments = reg.counter("dispatch_planned_assignments").labels()
+        self._cache_outcomes = reg.counter("plan_cache_resolutions", "outcome")
         #: optionally attached by the validation driver: the CommWorld's
         #: CommStats, for per-op / per-tier inspection after the run.
-        self.comm_stats = None
+        self.comm_stats: CommStats | None = None
 
     # ------------------------------------------------------------------
     def record(
@@ -87,27 +105,105 @@ class RoutingTelemetry:
                     f"tracks {self.num_experts}"
                 )
             self.load += decision.expert_load()
-            self.assignments += decision.num_assignments
-            self.policy_dropped += decision.num_dropped
-            self.aux_loss_sum += decision.aux_loss
-            self.z_loss_sum += decision.z_loss
+            self._assignments.inc(decision.num_assignments)
+            self._policy_dropped.inc(decision.num_dropped)
+            self._aux_loss.observe(decision.aux_loss)
+            self._z_loss.observe(decision.z_loss)
         if pfts is not None:
             if not isinstance(pfts, (list, tuple)):
                 pfts = [pfts]
-            self.capacity_dropped += sum(int(p.dropped_assignments) for p in pfts)
+            self._capacity_dropped.inc(
+                sum(int(p.dropped_assignments) for p in pfts)
+            )
         if plan is not None:
             stats = plan.stats_dict(row_bytes)
-            self.stage1_bytes += stats["stage1_bytes"]
-            self.stage2_bytes += stats["stage2_bytes"]
-            self.inter_node_bytes += plan.inter_node_rows * row_bytes
-            self.intra_node_bytes += plan.intra_node_rows * row_bytes
-            self.sent_rows += plan.sent_rows()
-            self.planned_assignments += plan.total_assignments
-        if cache_outcome is not None:
-            self.plan_cache_outcomes[cache_outcome] = (
-                self.plan_cache_outcomes.get(cache_outcome, 0) + 1
+            self._stage_bytes.labels(stage="stage1").inc(stats["stage1_bytes"])
+            self._stage_bytes.labels(stage="stage2").inc(stats["stage2_bytes"])
+            self._tier_bytes.labels(tier="inter_node").inc(
+                plan.inter_node_rows * row_bytes
             )
-        self.steps += 1
+            self._tier_bytes.labels(tier="intra_node").inc(
+                plan.intra_node_rows * row_bytes
+            )
+            self._sent_rows.inc(plan.sent_rows())
+            self._planned_assignments.inc(plan.total_assignments)
+        if cache_outcome is not None:
+            self._cache_outcomes.labels(outcome=cache_outcome).inc()
+        self._steps.inc()
+
+    # ------------------------------------------------------------------
+    # Registry-backed views with the historical attribute names.
+    @property
+    def steps(self) -> int:
+        """Recorded steps."""
+        return int(self._steps.value)
+
+    @property
+    def assignments(self) -> int:
+        """Routed (token, expert) assignments across all steps."""
+        return int(self._assignments.value)
+
+    @property
+    def policy_dropped(self) -> int:
+        """Assignments the router policy itself dropped."""
+        return int(self._policy_dropped.value)
+
+    @property
+    def capacity_dropped(self) -> int:
+        """Assignments dropped by PFT capacity truncation."""
+        return int(self._capacity_dropped.value)
+
+    @property
+    def aux_loss_sum(self) -> float:
+        """Sum of per-decision auxiliary (load-balance) losses."""
+        return self._aux_loss.total
+
+    @property
+    def z_loss_sum(self) -> float:
+        """Sum of per-decision router z-losses."""
+        return self._z_loss.total
+
+    @property
+    def stage1_bytes(self) -> float:
+        """Dispatch stage-1 payload bytes across all recorded plans."""
+        return self._stage_bytes.labels(stage="stage1").value
+
+    @property
+    def stage2_bytes(self) -> float:
+        """Dispatch stage-2 payload bytes across all recorded plans."""
+        return self._stage_bytes.labels(stage="stage2").value
+
+    @property
+    def inter_node_bytes(self) -> float:
+        """Payload bytes that crossed a node boundary."""
+        return self._tier_bytes.labels(tier="inter_node").value
+
+    @property
+    def intra_node_bytes(self) -> float:
+        """Payload bytes that stayed within a node."""
+        return self._tier_bytes.labels(tier="intra_node").value
+
+    @property
+    def sent_rows(self) -> int:
+        """Rows the dispatch collectives actually carried."""
+        return int(self._sent_rows.value)
+
+    @property
+    def planned_assignments(self) -> int:
+        """Assignments the recorded plans were built to serve."""
+        return int(self._planned_assignments.value)
+
+    @property
+    def plan_cache_outcomes(self) -> dict[str, int]:
+        """Plan-cache resolution tallies keyed by outcome.
+
+        Empty until a caching runtime records a step — exactly the dict
+        this class kept as a plain attribute before the registry refactor.
+        """
+        return {
+            key[0]: int(child.value)
+            for key, child in self._cache_outcomes.series().items()
+        }
 
     # ------------------------------------------------------------------
     @property
@@ -148,12 +244,11 @@ class RoutingTelemetry:
     @property
     def plan_cache_hit_rate(self) -> float:
         """Fraction of cached-runtime steps that skipped the plan build."""
-        total = sum(self.plan_cache_outcomes.values())
+        outcomes = self.plan_cache_outcomes
+        total = sum(outcomes.values())
         if total == 0:
             return 0.0
-        warm = self.plan_cache_outcomes.get("hit", 0) + self.plan_cache_outcomes.get(
-            "weight_patch", 0
-        )
+        warm = outcomes.get("hit", 0) + outcomes.get("weight_patch", 0)
         return warm / total
 
     def summary(self) -> dict:
@@ -163,10 +258,11 @@ class RoutingTelemetry:
         least one step, so existing consumers of the table are unaffected.
         """
         out = self._base_summary()
-        if self.plan_cache_outcomes:
+        outcomes = self.plan_cache_outcomes
+        if outcomes:
             out["plan_cache_hit_rate"] = round(self.plan_cache_hit_rate, 4)
             for outcome in ("hit", "weight_patch", "patch", "miss"):
-                out[f"plan_cache_{outcome}"] = self.plan_cache_outcomes.get(outcome, 0)
+                out[f"plan_cache_{outcome}"] = outcomes.get(outcome, 0)
         return out
 
     def _base_summary(self) -> dict:

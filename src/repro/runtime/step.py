@@ -39,6 +39,7 @@ without memory tracking; anything else transparently runs the engine.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
 from dataclasses import dataclass, field
@@ -46,10 +47,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import tracer as obs
 from repro.routing.engine import Dispatcher
 from repro.routing.plan_cache import PlanCache, Resolution
 from repro.routing.policies import RouterPolicy, RoutingDecision, _PolicyBase
 from repro.routing.telemetry import RoutingTelemetry
+
+logger = logging.getLogger(__name__)
 
 
 class StepWorkspace:
@@ -262,10 +266,12 @@ class StepRuntime:
         (the telemetry/trace hooks do **not** fire — they observe full
         steps).
         """
-        decisions = self.policy.route_batch(
-            per_rank_hidden, step=step, workspace=self.workspace
-        )
-        pfts = RoutingDecision.to_pfts(decisions, self.capacity)
+        with obs.span("route_batch", "step"):
+            decisions = self.policy.route_batch(
+                per_rank_hidden, step=step, workspace=self.workspace
+            )
+        with obs.span("to_pfts", "step"):
+            pfts = RoutingDecision.to_pfts(decisions, self.capacity)
         return decisions, pfts
 
     def run_step(
@@ -279,92 +285,122 @@ class StepRuntime:
         :class:`StepTrace` to every registered hook.
         """
         start = time.perf_counter()
-        # The payload keeps its own dtype (routing casts to float64
-        # internally): byte accounting below must see what actually moves.
-        arrays = [np.asarray(h) for h in per_rank_hidden]
-        if not arrays:
-            raise ValueError("need at least one rank's hidden states")
+        with obs.span("step", "step", step=step) as step_span:
+            # The payload keeps its own dtype (routing casts to float64
+            # internally): byte accounting below must see what actually moves.
+            arrays = [np.asarray(h) for h in per_rank_hidden]
+            if not arrays:
+                raise ValueError("need at least one rank's hidden states")
 
-        resolution: Resolution | None = None
-        if self.plan_cache is None:
-            decisions, pfts = self.route(arrays, step=step)
-            plan = self.dispatcher.plan(pfts, step=step)
-        else:
-            decisions = self.policy.route_batch(
-                arrays, step=step, workspace=self.workspace
-            )
-            resolution = self.plan_cache.resolve(
-                decisions,
-                dispatcher=self.dispatcher,
-                capacity=self.capacity,
-                tokens_per_rank=[int(h.shape[0]) for h in arrays],
-                row_signature=(int(arrays[0].shape[1]), arrays[0].dtype.str),
-                step=step,
-            )
-            pfts, plan = resolution.pfts, resolution.plan
-
-        fusable = resolution is not None and self._fusable(arrays)
-        if fusable and resolution.exec_program is not None:
-            expert_inputs, expert_outputs, outputs = self._run_fused(
-                resolution.exec_program, arrays, plan
-            )
-            fused = True
-        else:
-            stats = self.dispatcher.group.world.stats
-            events_before = len(stats.events)
-            expert_inputs, _ = self.dispatcher.dispatch(
-                arrays, pfts, plan=plan, step=step
-            )
-            if self.expert_weights is not None:
-                per_rank_w1, per_rank_w2 = self.expert_weights
-                expert_outputs = self.dispatcher.run_experts(
-                    expert_inputs, plan, per_rank_w1, per_rank_w2,
-                    activation=self.activation,
-                )
+            resolution: Resolution | None = None
+            if self.plan_cache is None:
+                decisions, pfts = self.route(arrays, step=step)
+                with obs.span("plan_build", "step"):
+                    plan = self.dispatcher.plan(pfts, step=step)
             else:
-                # Identity experts: exercises dispatch + combine with the
-                # dispatched rows themselves (the validation drivers' mode).
-                expert_outputs = [buf.copy() for buf in expert_inputs]
-            outputs = self.dispatcher.combine(
-                expert_outputs, plan, [h.shape[0] for h in arrays]
-            )
-            fused = False
-            if fusable and resolution.exec_program is None:
-                # First engine-path execution of this cache entry: compile
-                # the fused program and capture the step's comm events as
-                # replay templates for future warm runs.
-                self.plan_cache.attach_exec(
-                    resolution.entry,
-                    tokens_per_rank=[int(h.shape[0]) for h in arrays],
-                    comm_events=tuple(stats.events[events_before:]),
-                )
+                with obs.span("route_batch", "step"):
+                    decisions = self.policy.route_batch(
+                        arrays, step=step, workspace=self.workspace
+                    )
+                with obs.span("plan_resolve", "step") as resolve_span:
+                    resolution = self.plan_cache.resolve(
+                        decisions,
+                        dispatcher=self.dispatcher,
+                        capacity=self.capacity,
+                        tokens_per_rank=[int(h.shape[0]) for h in arrays],
+                        row_signature=(int(arrays[0].shape[1]), arrays[0].dtype.str),
+                        step=step,
+                    )
+                    resolve_span.set(cache_tier=resolution.outcome)
+                pfts, plan = resolution.pfts, resolution.plan
 
-        # Payload sizing derives from the actual token dtype — a float32
-        # payload halves the byte accounting instead of silently lying.
-        row_bytes = int(arrays[0].shape[1] * arrays[0].dtype.itemsize)
-        trace = StepTrace(
-            step=step,
-            num_ranks=len(arrays),
-            tokens_per_rank=[int(h.shape[0]) for h in arrays],
-            row_bytes=row_bytes,
-            decisions=decisions,
-            pfts=pfts,
-            plan=plan,
-            seconds=time.perf_counter() - start,
-            cache_outcome=resolution.outcome if resolution is not None else None,
-            cache_stats=self.plan_cache.stats() if self.plan_cache is not None else {},
-            fused=fused,
-        )
-        if self.telemetry is not None:
-            self.telemetry.record(
-                decisions,
-                pfts=pfts,
-                plan=plan,
-                row_bytes=row_bytes,
-                cache_outcome=trace.cache_outcome,
-            )
-        for hook in self.trace_hooks:
-            hook(trace)
+            fusable = resolution is not None and self._fusable(arrays)
+            if fusable and resolution.exec_program is not None:
+                with obs.span("fused_replay", "step"):
+                    expert_inputs, expert_outputs, outputs = self._run_fused(
+                        resolution.exec_program, arrays, plan
+                    )
+                fused = True
+            else:
+                stats = self.dispatcher.group.world.stats
+                events_before = len(stats.events)
+                with obs.span("dispatch", "step"):
+                    expert_inputs, _ = self.dispatcher.dispatch(
+                        arrays, pfts, plan=plan, step=step
+                    )
+                with obs.span("experts", "step"):
+                    if self.expert_weights is not None:
+                        per_rank_w1, per_rank_w2 = self.expert_weights
+                        expert_outputs = self.dispatcher.run_experts(
+                            expert_inputs, plan, per_rank_w1, per_rank_w2,
+                            activation=self.activation,
+                        )
+                    else:
+                        # Identity experts: exercises dispatch + combine with
+                        # the dispatched rows (the validation drivers' mode).
+                        expert_outputs = [buf.copy() for buf in expert_inputs]
+                with obs.span("combine", "step"):
+                    outputs = self.dispatcher.combine(
+                        expert_outputs, plan, [h.shape[0] for h in arrays]
+                    )
+                fused = False
+                if fusable and resolution.exec_program is None:
+                    # First engine-path execution of this cache entry: compile
+                    # the fused program and capture the step's comm events as
+                    # replay templates for future warm runs.
+                    with obs.span("fused_compile", "step"):
+                        self.plan_cache.attach_exec(
+                            resolution.entry,
+                            tokens_per_rank=[int(h.shape[0]) for h in arrays],
+                            comm_events=tuple(stats.events[events_before:]),
+                        )
+
+            with obs.span("finalize", "step"):
+                # Payload sizing derives from the actual token dtype — a
+                # float32 payload halves the byte accounting instead of
+                # silently lying.
+                row_bytes = int(arrays[0].shape[1] * arrays[0].dtype.itemsize)
+                trace = StepTrace(
+                    step=step,
+                    num_ranks=len(arrays),
+                    tokens_per_rank=[int(h.shape[0]) for h in arrays],
+                    row_bytes=row_bytes,
+                    decisions=decisions,
+                    pfts=pfts,
+                    plan=plan,
+                    seconds=time.perf_counter() - start,
+                    cache_outcome=(
+                        resolution.outcome if resolution is not None else None
+                    ),
+                    cache_stats=(
+                        self.plan_cache.stats() if self.plan_cache is not None else {}
+                    ),
+                    fused=fused,
+                )
+                step_span.set(
+                    num_ranks=trace.num_ranks,
+                    fused=fused,
+                    cache_tier=trace.cache_outcome,
+                    dispatched_rows=trace.dispatched_rows,
+                    dispatch_bytes=trace.dispatch_bytes,
+                )
+                if self.telemetry is not None:
+                    self.telemetry.record(
+                        decisions,
+                        pfts=pfts,
+                        plan=plan,
+                        row_bytes=row_bytes,
+                        cache_outcome=trace.cache_outcome,
+                    )
+                for hook in self.trace_hooks:
+                    # Hooks are observers: a broken one must not abort the
+                    # step (or starve the hooks registered after it).
+                    try:
+                        hook(trace)
+                    except Exception:
+                        logger.exception(
+                            "trace hook %r failed on step %r; continuing", hook, step
+                        )
         self.steps_run += 1
         return StepResult(
             trace=trace,

@@ -31,6 +31,7 @@ import time
 
 from repro.config.hardware import SystemSpec
 from repro.config.model_config import MoEModelConfig
+from repro.obs import tracer as obs
 from repro.tuner.calibration import Calibration, load_calibration
 from repro.tuner.evaluator import CandidateScore, EvaluatorStats, MemoizingEvaluator
 from repro.tuner.report import TuningReport, pareto_frontier
@@ -84,9 +85,16 @@ def tune(
         space.model, space.system, kind=kind, calibration=calibration
     )
     start = time.perf_counter()
-    scores = evaluator.evaluate_all(space.candidates())
-    feasible = [s for s in scores if s.feasible]
-    feasible.sort(key=lambda s: (s.step_seconds, s.peak_memory_gb))
+    with obs.span("tuner.search", "tuner") as search_span:
+        with obs.span("tuner.evaluate", "tuner") as eval_span:
+            scores = evaluator.evaluate_all(space.candidates())
+            eval_span.set(num_enumerated=len(scores), **evaluator.stats.as_dict())
+        with obs.span("tuner.rank", "tuner") as rank_span:
+            feasible = [s for s in scores if s.feasible]
+            feasible.sort(key=lambda s: (s.step_seconds, s.peak_memory_gb))
+            pareto = pareto_frontier(feasible)
+            rank_span.set(num_feasible=len(feasible), pareto_size=len(pareto))
+        search_span.set(world_size=space.world_size, tokens_per_step=space.tokens_per_step)
     elapsed = time.perf_counter() - start
     return TuningReport(
         model=space.model,
@@ -96,7 +104,7 @@ def tune(
         ranked=feasible,
         num_enumerated=len(scores),
         num_infeasible=len(scores) - len(feasible),
-        pareto=pareto_frontier(feasible),
+        pareto=pareto,
         evaluator_stats=evaluator.stats.as_dict(),
         calibration_source=(
             evaluator.calibration.source

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.comm.process_group import CommWorld, ProcessGroup
 from repro.config.hardware import SystemSpec, frontier_system
+from repro.obs import tracer as obs
 from repro.config.model_config import MoEModelConfig
 from repro.config.parallel_config import ParallelConfig, PlacementOrder, ZeroStage
 from repro.routing.engine import PlanDispatcher, make_dispatcher
@@ -154,17 +155,20 @@ def run_routing_validation(
         telemetry=telemetry,
     )
 
-    for step in range(steps):
-        hidden = [
-            skewed_router_tokens(
-                np.random.default_rng((seed, step, rank)),
-                tokens_per_rank,
-                policy.weight,
-                skew=skew,
-            )
-            for rank in range(num_ranks)
-        ]
-        runtime.run_step(hidden, step=step)
+    with obs.span(
+        "trainer.validate", "trainer", router=router, dispatch=dispatcher.planner.kind
+    ):
+        for step in range(steps):
+            hidden = [
+                skewed_router_tokens(
+                    np.random.default_rng((seed, step, rank)),
+                    tokens_per_rank,
+                    policy.weight,
+                    skew=skew,
+                )
+                for rank in range(num_ranks)
+            ]
+            runtime.run_step(hidden, step=step)
     telemetry.comm_stats = world.stats
     return telemetry
 
@@ -234,17 +238,25 @@ class SimulatedTrainer:
 
     def run(self) -> TrainRunResult:
         """Check memory, then (if trainable) compute throughput."""
-        report = self.memory.report(self.kind)
-        if not report.fits:
-            return TrainRunResult(
-                system=self.kind,
-                model_name=self.model.name,
-                parallel=self.parallel,
-                oom=True,
-                peak_memory_gb=report.total_gb,
-            )
-        seconds = self.perf.iteration_time()
-        tflops = self.perf.throughput_tflops_per_gpu()
+        with obs.span(
+            "trainer.run",
+            "trainer",
+            system=self.kind.value,
+            model=self.model.name,
+        ) as run_span:
+            report = self.memory.report(self.kind)
+            if not report.fits:
+                run_span.set(oom=True, peak_memory_gb=report.total_gb)
+                return TrainRunResult(
+                    system=self.kind,
+                    model_name=self.model.name,
+                    parallel=self.parallel,
+                    oom=True,
+                    peak_memory_gb=report.total_gb,
+                )
+            seconds = self.perf.iteration_time()
+            tflops = self.perf.throughput_tflops_per_gpu()
+            run_span.set(oom=False, tflops_per_gpu=tflops)
         return TrainRunResult(
             system=self.kind,
             model_name=self.model.name,

@@ -70,3 +70,75 @@ def test_main_exits_zero(tmp_path, capsys):
     assert summary.main(["--results-dir", str(tmp_path)]) == 0
     out = capsys.readouterr().out
     assert "skipped malformed record bad.json" in out
+
+
+def _history(tmp_path, name, records):
+    path = tmp_path / f"{name}.history.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+def test_numeric_metrics_flattens_gate_figures():
+    summary = load_summary()
+    record = {
+        "speedup_vs_seed": 10.0,
+        "speedup_warm_vs_cold": {"flat_ep32": 3.0, "bogus": "n/a", "flag": True},
+        "speedup_enabled": True,
+        "plan_cache": {"hit_rate": 0.9},
+        "seconds": {"warm": 0.004},
+    }
+    assert summary.numeric_metrics(record) == {
+        "speedup_vs_seed": 10.0,
+        "speedup_warm_vs_cold[flat_ep32]": 3.0,
+        "plan_cache.hit_rate": 0.9,
+    }
+
+
+def test_check_flags_regressions_within_tolerance(tmp_path):
+    summary = load_summary()
+    _history(
+        tmp_path,
+        "cache",
+        [
+            {"speedup": 4.0, "plan_cache": {"hit_rate": 0.9}},
+            {"speedup": 4.2, "plan_cache": {"hit_rate": 0.9}},
+            {"speedup": 2.0, "plan_cache": {"hit_rate": 0.88}},
+        ],
+    )
+    regressions, notes = summary.check_trajectories(tmp_path, tolerance=0.25)
+    # speedup 2.0 < 0.75 * median(4.0, 4.2); hit rate 0.88 is within 25%.
+    assert len(regressions) == 1 and "speedup" in regressions[0]
+    assert any("plan_cache.hit_rate" in n and "ok" in n for n in notes)
+    regressions, _ = summary.check_trajectories(tmp_path, tolerance=0.6)
+    assert regressions == []
+
+
+def test_check_skips_short_trajectories(tmp_path):
+    summary = load_summary()
+    _history(tmp_path, "fresh", [{"speedup": 4.0}])
+    regressions, notes = summary.check_trajectories(tmp_path, tolerance=0.25)
+    assert regressions == []
+    assert notes == ["fresh: 1 record(s) — no trajectory yet"]
+
+
+def test_main_check_exit_codes(tmp_path, capsys, monkeypatch):
+    summary = load_summary()
+    _history(tmp_path, "cache", [{"speedup": 4.0}, {"speedup": 4.0}])
+    assert summary.main(["--results-dir", str(tmp_path), "--check"]) == 0
+    assert "perf gate passed" in capsys.readouterr().out
+
+    _history(tmp_path, "cache", [{"speedup": 4.0}, {"speedup": 1.0}])
+    assert summary.main(["--results-dir", str(tmp_path), "--check"]) == 1
+    assert "perf gate FAILED" in capsys.readouterr().out
+
+    # the env knob loosens the gate without flags; --tolerance overrides it
+    monkeypatch.setenv("BENCH_REGRESSION_TOLERANCE", "0.8")
+    assert summary.main(["--results-dir", str(tmp_path), "--check"]) == 0
+    capsys.readouterr()
+    assert (
+        summary.main(
+            ["--results-dir", str(tmp_path), "--check", "--tolerance", "0.1"]
+        )
+        == 1
+    )
+    capsys.readouterr()

@@ -61,6 +61,37 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "dgx" in out
 
+    def test_obs_command(self, capsys):
+        assert main(["obs", "--steps", "2", "--ranks", "4", "--tokens", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 2 steps" in out
+        assert "span" in out and "dispatch" in out  # the summary table
+        assert "telemetry:" in out
+
+    def test_obs_command_exports(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "obs", "--steps", "2", "--ranks", "4", "--tokens", "16",
+                    "--dispatch", "hier",
+                    "--trace-out", str(trace),
+                    "--metrics-out", str(metrics),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Perfetto" in out and "metrics snapshot" in out
+        import json
+
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == "repro.obs.metrics/v1"
+        assert "routing_steps" in snapshot["metrics"]
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])

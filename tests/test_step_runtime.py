@@ -383,3 +383,72 @@ class TestStepRuntimeBehavior:
         runtime, _ = self._runtime()
         with pytest.raises(ValueError, match="at least one rank"):
             runtime.run_step([], step=0)
+
+    def test_failing_trace_hook_is_isolated(self, caplog):
+        """A raising hook is logged and skipped; the step and later hooks survive."""
+        import logging
+
+        seen = []
+
+        def bad_hook(trace):
+            raise RuntimeError("hook exploded")
+
+        runtime, batches = self._runtime(trace_hooks=[bad_hook, seen.append])
+        with caplog.at_level(logging.ERROR, logger="repro.runtime.step"):
+            result = runtime.run_step(batches, step=3)
+        # The step completed, the broken hook did not starve the next one.
+        assert runtime.steps_run == 1
+        assert len(seen) == 1 and seen[0] is result.trace
+        records = [r for r in caplog.records if "trace hook" in r.message]
+        assert records and records[0].exc_info is not None
+        # A healthy runtime keeps stepping after a hook failure.
+        runtime.run_step(batches, step=4)
+        assert runtime.steps_run == 2 and len(seen) == 2
+
+    def test_dispatched_rows_count_assignments_not_wire_rows(self):
+        """StepTrace rows/bytes under expert-choice routing + hierarchical plans.
+
+        ``dispatched_rows`` counts the surviving assignment population (the
+        PFT rows entering dispatch); hierarchical plans move rows over two
+        hops and RBD dedups them, so the wire-row figures live on the plan,
+        not the trace.
+        """
+        for name, kind in (("expert-choice", "flat"), ("expert-choice", "hier"),
+                           ("softmax-topk", "hier")):
+            policy, batches = _policy_and_hidden(
+                name, num_ranks=8, tokens=16, hidden=8, experts=16, top_k=2,
+                seed=5, skew=1.0,
+            )
+            world = CommWorld(num_ranks=8)
+            runtime = StepRuntime(
+                policy, make_dispatcher(world.world_group(), 16, kind=kind, seed=5)
+            )
+            result = runtime.run_step(batches, step=0)
+            trace = result.trace
+            assert trace.dispatched_rows == sum(
+                int(p.num_routed_tokens) for p in result.pfts
+            )
+            assert trace.dispatched_rows == result.plan.total_assignments
+            assert trace.dispatch_bytes == trace.dispatched_rows * trace.row_bytes
+            if kind == "hier":
+                # Two-hop dispatch: node leaders fan replicas out locally, so
+                # the collectives carry fewer pilot rows than assignments.
+                assert result.plan.sent_rows() < trace.dispatched_rows
+
+    def test_dispatched_rows_shrink_under_capacity(self):
+        """Capacity truncation shows up in the trace's assignment population."""
+        policy, batches = _policy_and_hidden(
+            "softmax-topk", num_ranks=8, tokens=16, hidden=8, experts=16,
+            top_k=2, seed=5, skew=2.0,
+        )
+        world = CommWorld(num_ranks=8)
+        capped = StepRuntime(
+            policy,
+            make_dispatcher(world.world_group(), 16, kind="flat", seed=5),
+            capacity=2,
+        )
+        result = capped.run_step(batches, step=0)
+        routed = sum(d.num_assignments for d in result.decisions)
+        dropped = sum(int(p.dropped_assignments) for p in result.pfts)
+        assert dropped > 0
+        assert result.trace.dispatched_rows == routed - dropped
