@@ -18,7 +18,10 @@ With ``--check`` the script becomes a perf-regression gate: for every
 ``write_record``), the newest record's higher-is-better figures
 (``speedup*``, plan-cache hit rate) are compared against the median of the
 prior entries; any figure below ``(1 - tolerance) x median`` fails the
-gate with a non-zero exit.  Tolerance comes from
+gate with a non-zero exit.  Lower-is-better figures — top-level keys
+starting with ``latency`` (the serving benchmark's p50/p99 tables) — gate
+in the opposite direction: the newest value fails when it rises above
+``(1 + tolerance) x median``.  Tolerance comes from
 ``BENCH_REGRESSION_TOLERANCE`` (default 0.25 — micro-benchmarks on shared
 runners are noisy) or ``--tolerance``.  Trajectories with fewer than two
 entries are skipped: one record is a baseline, not a trend.
@@ -55,6 +58,8 @@ def summarize_record(name: str, record: dict) -> list[tuple[str, str, str]]:
                 sub_value = value[sub]
                 if isinstance(sub_value, (int, float)):
                     rows.append((name, f"{key}[{sub}]", f"{sub_value:.2f}x"))
+    for metric, value in sorted(latency_metrics(record).items()):
+        rows.append((name, metric, f"{value:.2f}"))
     plan_cache = record.get("plan_cache")
     if isinstance(plan_cache, dict):
         hit_rate = plan_cache.get("hit_rate")
@@ -110,14 +115,39 @@ def numeric_metrics(record: dict) -> dict[str, float]:
     return out
 
 
+def latency_metrics(record: dict) -> dict[str, float]:
+    """The record's lower-is-better figures, flattened to ``{name: value}``.
+
+    Any top-level key starting with ``latency`` participates — scalar or
+    per-case dict, same flattening as :func:`numeric_metrics` — so the
+    serving benchmark's ``latency_p50_steps`` / ``latency_p99_steps``
+    tables regression-gate in the *rising* direction.
+    """
+    out: dict[str, float] = {}
+    for key in sorted(record):
+        if not key.startswith("latency"):
+            continue
+        value = record[key]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[key] = float(value)
+        elif isinstance(value, dict):
+            for sub in sorted(value):
+                sub_value = value[sub]
+                if isinstance(sub_value, (int, float)) and not isinstance(sub_value, bool):
+                    out[f"{key}[{sub}]"] = float(sub_value)
+    return out
+
+
 def check_trajectories(
     results_dir: Path, tolerance: float
 ) -> tuple[list[str], list[str]]:
     """Compare each trajectory's newest record against its prior entries.
 
-    Returns ``(regressions, notes)`` — human-readable lines.  A metric
-    regresses when the newest value drops below ``(1 - tolerance)`` times
-    the median of every prior entry's value for that metric.
+    Returns ``(regressions, notes)`` — human-readable lines.  A
+    higher-is-better metric regresses when the newest value drops below
+    ``(1 - tolerance)`` times the median of every prior entry's value; a
+    lower-is-better (``latency*``) metric regresses when it rises above
+    ``(1 + tolerance)`` times that median.
     """
     regressions: list[str] = []
     notes: list[str] = []
@@ -137,29 +167,39 @@ def check_trajectories(
         if len(entries) < 2:
             notes.append(f"{name}: {len(entries)} record(s) — no trajectory yet")
             continue
-        newest = numeric_metrics(entries[-1])
-        floor_scale = 1.0 - tolerance
-        for metric, value in sorted(newest.items()):
-            prior = [
-                m[metric]
-                for m in (numeric_metrics(e) for e in entries[:-1])
-                if metric in m
-            ]
-            if not prior:
-                continue
-            baseline = statistics.median(prior)
-            floor = floor_scale * baseline
-            if value < floor:
-                regressions.append(
-                    f"{name}: {metric} = {value:.3f} < {floor:.3f} "
-                    f"(median of {len(prior)} prior = {baseline:.3f}, "
-                    f"tolerance {tolerance:.0%})"
-                )
-            else:
-                notes.append(
-                    f"{name}: {metric} = {value:.3f} ok "
-                    f"(median of {len(prior)} prior = {baseline:.3f})"
-                )
+        for flatten, lower_is_better in (
+            (numeric_metrics, False),
+            (latency_metrics, True),
+        ):
+            newest = flatten(entries[-1])
+            for metric, value in sorted(newest.items()):
+                prior = [
+                    m[metric]
+                    for m in (flatten(e) for e in entries[:-1])
+                    if metric in m
+                ]
+                if not prior:
+                    continue
+                baseline = statistics.median(prior)
+                if lower_is_better:
+                    bound = (1.0 + tolerance) * baseline
+                    regressed = value > bound
+                    relation = ">"
+                else:
+                    bound = (1.0 - tolerance) * baseline
+                    regressed = value < bound
+                    relation = "<"
+                if regressed:
+                    regressions.append(
+                        f"{name}: {metric} = {value:.3f} {relation} {bound:.3f} "
+                        f"(median of {len(prior)} prior = {baseline:.3f}, "
+                        f"tolerance {tolerance:.0%})"
+                    )
+                else:
+                    notes.append(
+                        f"{name}: {metric} = {value:.3f} ok "
+                        f"(median of {len(prior)} prior = {baseline:.3f})"
+                    )
     return regressions, notes
 
 

@@ -9,6 +9,7 @@ Usage::
     python -m repro configs     # Table 3 model configurations
     python -m repro tune        # auto-tune a parallel plan for a cluster
     python -m repro obs         # record a traced run; summarize / export it
+    python -m repro serve       # continuous-batching serving over a trace
 
 Each subcommand prints the corresponding rows; the full benchmark harness
 (with assertions on the expected shapes) lives under ``benchmarks/``.
@@ -173,6 +174,97 @@ def _cmd_obs(args) -> None:
         print(f"wrote metrics snapshot: {path}")
 
 
+def _cmd_serve(args) -> None:
+    import numpy as np
+
+    from repro.serving import (
+        MemoryBudgetAdmission,
+        StaticBatchAdmission,
+        bursty_arrivals,
+        format_slo_table,
+        make_serving_engine,
+        poisson_arrivals,
+        run_trace,
+        synth_requests,
+    )
+
+    def build_requests():
+        rng = np.random.default_rng(args.seed)
+        if args.trace == "poisson":
+            arrivals = poisson_arrivals(rng, args.requests, args.rate)
+        else:
+            arrivals = bursty_arrivals(
+                args.requests, burst_size=args.burst_size, gap_steps=args.gap_steps
+            )
+        return synth_requests(
+            rng,
+            arrivals,
+            args.hidden,
+            prompt_len=(2, args.max_prompt),
+            max_new_tokens=(2, args.max_tokens),
+            deadline_steps=args.deadline,
+        )
+
+    def build_admission(name):
+        if name == "static":
+            return StaticBatchAdmission()
+        if name == "memory-budget":
+            from repro.config import ParallelConfig, paper_config
+            from repro.xmoe.memory_model import MoEMemoryModel
+
+            parallel = ParallelConfig(
+                world_size=256, ep_size=64, micro_batch_size=1,
+                global_batch_size=1024,
+            )
+            model = MoEMemoryModel(paper_config("small"), parallel)
+            return MemoryBudgetAdmission(model, max_slots=args.slots)
+        return None  # FCFS default
+
+    admissions = [args.admission]
+    if args.compare and args.admission != "static":
+        admissions.append("static")
+    # Serves are bit-deterministic, so --compare wall clocks come from the
+    # fastest of three repeats after a warm-up pass — otherwise the first
+    # engine pays the process's one-time costs and the speedup lies.
+    repeats = 3 if args.compare else 1
+    warmed = not args.compare
+    rows = []
+    for name in admissions:
+        reports = []
+        for _ in range(repeats + (0 if warmed else 1)):
+            engine = make_serving_engine(
+                router=args.router,
+                dispatch=args.dispatch,
+                num_slots=args.slots,
+                top_k=args.top_k,
+                hidden_size=args.hidden,
+                seed=args.seed,
+                admission=build_admission(name),
+            )
+            reports.append(run_trace(engine, build_requests()))
+            if not warmed:
+                warmed = True
+                reports.clear()
+        report = min(reports, key=lambda r: r.wall_seconds)
+        rows.append(report.slo_row())
+        attribution = engine.runtime.telemetry.request_drop_attribution()
+        if attribution:
+            dropped = sum(sum(kinds.values()) for kinds in attribution.values())
+            print(
+                f"[{name}] {dropped} dropped assignments attributed across "
+                f"{len(attribution)} requests"
+            )
+    print(
+        f"served {args.requests} requests: trace={args.trace} router={args.router} "
+        f"dispatch={args.dispatch} slots={args.slots}"
+    )
+    print()
+    print(format_slo_table(rows, title="serving SLO"))
+    if len(rows) == 2 and rows[1]["tokens_per_sec"] > 0:
+        speedup = rows[0]["tokens_per_sec"] / rows[1]["tokens_per_sec"]
+        print(f"\ncontinuous vs static tokens/sec speedup: {speedup:.2f}x")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -225,6 +317,50 @@ def main(argv: list[str] | None = None) -> int:
         help="write the metrics registry snapshot JSON here",
     )
     obs.set_defaults(fn=_cmd_obs)
+    serve = sub.add_parser(
+        "serve", help="continuous-batching serving over a synthetic trace"
+    )
+    serve.add_argument("--router", default="softmax-topk", help="router policy name")
+    serve.add_argument(
+        "--dispatch", choices=("flat", "rbd", "hier"), default="flat",
+        help="dispatch strategy to serve through",
+    )
+    serve.add_argument("--slots", type=int, default=8, help="serving slots (EP ranks)")
+    serve.add_argument("--top-k", type=int, default=2, help="experts per token")
+    serve.add_argument("--hidden", type=int, default=32, help="hidden size")
+    serve.add_argument("--requests", type=int, default=32, help="requests in the trace")
+    serve.add_argument(
+        "--trace", choices=("poisson", "bursty"), default="poisson",
+        help="arrival process",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=1.0, help="Poisson arrivals per engine step"
+    )
+    serve.add_argument(
+        "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
+    )
+    serve.add_argument(
+        "--gap-steps", type=int, default=16, help="steps between bursts (bursty trace)"
+    )
+    serve.add_argument(
+        "--max-prompt", type=int, default=8, help="max prompt rows per request"
+    )
+    serve.add_argument(
+        "--max-tokens", type=int, default=12, help="max decode tokens per request"
+    )
+    serve.add_argument(
+        "--deadline", type=int, default=None, help="per-request SLO deadline in steps"
+    )
+    serve.add_argument(
+        "--admission", choices=("fcfs", "static", "memory-budget"), default="fcfs",
+        help="admission policy",
+    )
+    serve.add_argument(
+        "--compare", action="store_true",
+        help="also run the static fixed-batch baseline and print the speedup",
+    )
+    serve.add_argument("--seed", type=int, default=0, help="trace + engine seed")
+    serve.set_defaults(fn=_cmd_serve)
     args = parser.parse_args(argv)
     args.fn(args)
     return 0

@@ -207,7 +207,9 @@ def _batched_aux_loss(
         .astype(np.float64)
     )
     fraction = counts / max(1, expert_ids[0].size)
-    mean_probs = probs.mean(axis=1)
+    # sum/s rather than mean(): bit-identical for s > 0, and 0.0 instead of
+    # a NaN-with-warning for zero-token ranks (idle serving slots).
+    mean_probs = probs.sum(axis=1) / max(1, s)
     return (mean_probs * fraction).sum(axis=1) * (coef * e)
 
 
@@ -633,7 +635,7 @@ class _PolicyBase:
             expert_ids.reshape(-1), minlength=self.num_experts
         ).astype(np.float64)
         fraction = counts / max(1, expert_ids.size)
-        mean_probs = probs.mean(axis=0)
+        mean_probs = probs.sum(axis=0) / max(1, probs.shape[0])
         return float((mean_probs * fraction).sum() * (self.aux_loss_coef * self.num_experts))
 
 

@@ -131,6 +131,38 @@ class RoutingTelemetry:
             self._cache_outcomes.labels(outcome=cache_outcome).inc()
         self._steps.inc()
 
+    def attribute_drops(
+        self, request_id: str, *, policy: int = 0, capacity: int = 0
+    ) -> None:
+        """Attribute a step's drops to the request that suffered them.
+
+        The serving engine maps one request to one EP rank slot, so each
+        rank's per-step drop counts (``StepTrace.policy_drops_by_rank`` /
+        ``capacity_drops_by_rank``) are exactly one request's drops.  They
+        land in the ``routing_request_drops`` family labeled by request and
+        kind; :meth:`request_drop_attribution` reads the ledger back.
+        """
+        if policy < 0 or capacity < 0:
+            raise ValueError("drop counts must be non-negative")
+        family = self.metrics.counter("routing_request_drops", "request", "kind")
+        if policy:
+            family.labels(request=request_id, kind="policy").inc(policy)
+        if capacity:
+            family.labels(request=request_id, kind="capacity").inc(capacity)
+
+    def request_drop_attribution(self) -> dict[str, dict[str, int]]:
+        """Per-request drop tallies: ``{request_id: {kind: count}}``.
+
+        Only requests that actually suffered drops appear (zero counts are
+        never recorded), so an empty dict means a drop-free run.
+        """
+        out: dict[str, dict[str, int]] = {}
+        family = self.metrics.counter("routing_request_drops", "request", "kind")
+        for key, child in family.series().items():
+            request_id, kind = key
+            out.setdefault(request_id, {})[kind] = int(child.value)
+        return out
+
     # ------------------------------------------------------------------
     # Registry-backed views with the historical attribute names.
     @property

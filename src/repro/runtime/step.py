@@ -152,6 +152,19 @@ class StepTrace:
         """Payload bytes of the surviving assignments (``row_bytes`` each)."""
         return self.dispatched_rows * self.row_bytes
 
+    def policy_drops_by_rank(self) -> list[int]:
+        """Assignments the router policy dropped, per rank.
+
+        Rank-granular so consumers that map ranks to higher-level units —
+        the serving engine maps one request per rank slot — can attribute
+        drops to the unit that suffered them instead of a step-wide total.
+        """
+        return [int(d.num_dropped) for d in self.decisions]
+
+    def capacity_drops_by_rank(self) -> list[int]:
+        """Assignments PFT capacity truncation dropped, per rank."""
+        return [int(p.dropped_assignments) for p in self.pfts]
+
 
 #: a trace consumer: called once per executed step with the step's trace.
 TraceHook = Callable[[StepTrace], None]

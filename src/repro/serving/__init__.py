@@ -1,0 +1,76 @@
+"""repro.serving — continuous-batching MoE inference over the step runtime.
+
+The serving subsystem turns the rank-batched training
+:class:`~repro.runtime.StepRuntime` into an inference engine: requests
+arrive asynchronously, an admission policy packs them into the EP group's
+slots (one request per rank), every engine iteration runs one runtime step
+for all occupied slots at once, tokens stream out per request, and
+completed requests retire so queued ones join in-flight work immediately —
+continuous batching, no batch barriers.
+
+The design leans on a property the runtime already guarantees: the
+rank-batched route/dispatch path is bit-identical to per-rank execution.
+With one request per slot and a pinned routing salt, a request's token
+stream is therefore a pure function of the request — independent of
+whatever else happens to be co-batched — and
+``tests/test_serving_properties.py`` proves it across every router policy
+and dispatcher kind.
+"""
+
+from repro.serving.engine import (
+    SchedulerDecision,
+    ServeStepReport,
+    ServingEngine,
+    default_next_hidden,
+    default_token_id,
+    make_serving_engine,
+)
+from repro.serving.queue import RequestQueue
+from repro.serving.request import (
+    Request,
+    RequestState,
+    RequestStatus,
+    TokenChunk,
+    TokenStream,
+)
+from repro.serving.scheduler import (
+    AdmissionPolicy,
+    ContinuousBatchScheduler,
+    FCFSAdmission,
+    MemoryBudgetAdmission,
+    StaticBatchAdmission,
+)
+from repro.serving.traffic import (
+    ServeReport,
+    bursty_arrivals,
+    format_slo_table,
+    poisson_arrivals,
+    run_trace,
+    synth_requests,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "ContinuousBatchScheduler",
+    "FCFSAdmission",
+    "MemoryBudgetAdmission",
+    "Request",
+    "RequestQueue",
+    "RequestState",
+    "RequestStatus",
+    "SchedulerDecision",
+    "ServeReport",
+    "ServeStepReport",
+    "ServingEngine",
+    "StaticBatchAdmission",
+    "TokenChunk",
+    "TokenStream",
+    "bursty_arrivals",
+    "default_next_hidden",
+    "default_token_id",
+    "format_slo_table",
+    "make_serving_engine",
+    "poisson_arrivals",
+    "run_trace",
+    "synth_requests",
+]

@@ -1,0 +1,97 @@
+"""The admission queue: FIFO arrivals, bounded backlog, conservation ledger.
+
+:class:`RequestQueue` is the ``RequestTracker`` half of the ColossalAI
+async-engine pattern: every client submission becomes a
+:class:`~repro.serving.request.RequestState` with its own
+:class:`~repro.serving.request.TokenStream`, enters the FIFO backlog, and
+is later popped by an admission policy.  The queue keeps a ledger of every
+state it ever created — queued, running, and terminal alike — which is
+what the queue-conservation property checks against: every submitted
+request terminates exactly once (completed or rejected), and nothing is
+ever lost or duplicated.
+
+A bounded backlog (``max_pending``) rejects overload at the door: the
+returned state is already terminal (``REJECTED``) with a finished, empty
+stream, so clients observe rejection the same way they observe
+completion.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from repro.serving.request import Request, RequestState, RequestStatus, TokenStream
+
+
+class RequestQueue:
+    """FIFO request backlog with an optional admission bound.
+
+    ``max_pending`` bounds the backlog (``None`` = unbounded); a submit
+    beyond the bound is rejected immediately.  ``states`` is the
+    conservation ledger: request id → state, insertion-ordered, covering
+    every submission ever made.
+    """
+
+    def __init__(self, *, max_pending: int | None = None):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
+        self.max_pending = max_pending
+        self._pending: deque[RequestState] = deque()
+        self.states: dict[str, RequestState] = {}
+        self.submitted = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: Request, *, step: int) -> RequestState:
+        """Enqueue one request (or reject it if the backlog is full).
+
+        Returns the tracking state either way; a rejected state is already
+        terminal with a finished stream, so the caller's consumption loop
+        needs no special case.
+        """
+        if request.request_id in self.states:
+            raise ValueError(f"duplicate request id {request.request_id!r}")
+        state = RequestState(request=request, stream=TokenStream(request.request_id))
+        state.submitted_step = step
+        state.wall["submitted"] = time.perf_counter()
+        self.states[request.request_id] = state
+        self.submitted += 1
+        if self.max_pending is not None and len(self._pending) >= self.max_pending:
+            state.status = RequestStatus.REJECTED
+            state.finished_step = step
+            state.wall["finished"] = state.wall["submitted"]
+            state.stream.finish()
+            self.rejected += 1
+            return state
+        self._pending.append(state)
+        return state
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> tuple[RequestState, ...]:
+        """The backlog in arrival order (read-only view)."""
+        return tuple(self._pending)
+
+    def pop(self, count: int) -> list[RequestState]:
+        """Pop up to ``count`` oldest queued requests (FCFS order)."""
+        out: list[RequestState] = []
+        while self._pending and len(out) < count:
+            out.append(self._pending.popleft())
+        return out
+
+    # ------------------------------------------------------------------
+    def conservation(self) -> dict:
+        """The ledger totals the conservation property asserts over."""
+        by_status: dict[str, int] = {}
+        for state in self.states.values():
+            by_status[state.status.value] = by_status.get(state.status.value, 0) + 1
+        return {
+            "submitted": self.submitted,
+            "pending": len(self._pending),
+            "rejected": self.rejected,
+            "by_status": by_status,
+        }

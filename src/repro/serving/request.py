@@ -1,0 +1,279 @@
+"""The serving request model: requests, lifecycle state, and token streams.
+
+A :class:`Request` is what a client submits: a prompt (hidden-state rows,
+since the simulated substrate works below the embedding layer), a decode
+budget, and an optional step-denominated deadline.  The engine wraps each
+submission in a :class:`RequestState` — the single mutable object that
+tracks the request through ``QUEUED → PREFILL → DECODE → COMPLETED`` (or
+``REJECTED`` at admission) and accumulates its per-request metrics: queue
+wait, time-to-first-token, total latency, and the policy/capacity drop
+counts attributed to it from each step's
+:class:`~repro.runtime.StepTrace`.
+
+Tokens stream out through a :class:`TokenStream`, the ColossalAI
+``AsyncStream`` pattern adapted to the synchronous simulator: ``put`` and
+``finish`` never block, consumers drain incrementally between engine
+steps (``drain`` / ``get_nowait`` / iteration), and an ``async for`` works
+from an event loop that pumps the engine between awaits.  The stream also
+keeps its full ``history`` so the property suite can compare two runs'
+outputs bit for bit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class RequestStatus(str, Enum):
+    """Lifecycle phases of a served request."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    COMPLETED = "completed"
+    REJECTED = "rejected"
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the request has left the system (exactly-once states)."""
+        return self in (RequestStatus.COMPLETED, RequestStatus.REJECTED)
+
+
+@dataclass(frozen=True)
+class TokenChunk:
+    """One decoded token: its index, id, and the raw MoE output vector.
+
+    ``vector`` carries the combined float64 output row the token was
+    derived from — the bit-exact artifact the batching-invariance oracle
+    compares; ``token_id`` is a deterministic digest of it (what a real
+    deployment would sample from logits).
+    """
+
+    index: int
+    token_id: int
+    vector: np.ndarray
+
+
+class TokenStream:
+    """Per-request token stream: non-blocking puts, sentinel-terminated.
+
+    The synchronous mirror of ColossalAI's ``AsyncStream``: the engine
+    ``put``s one :class:`TokenChunk` per decode step and calls ``finish``
+    exactly once when the request terminates.  Consumers either drain
+    synchronously between engine steps (:meth:`drain`, :meth:`get_nowait`,
+    plain iteration over what has arrived) or ``async for`` over the
+    stream from an event loop that pumps the engine between awaits.
+    """
+
+    def __init__(self, request_id: str):
+        self.request_id = request_id
+        self._pending: deque[TokenChunk] = deque()
+        #: every chunk ever emitted, in order (draining does not erase it).
+        self.history: list[TokenChunk] = []
+        self._finished = False
+        self._event: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """Whether ``finish`` has been called (no more tokens will arrive)."""
+        return self._finished
+
+    def put(self, chunk: TokenChunk) -> None:
+        """Append one token chunk (never blocks; engine-side call)."""
+        if self._finished:
+            raise RuntimeError(f"stream {self.request_id!r} is finished")
+        self._pending.append(chunk)
+        self.history.append(chunk)
+        if self._event is not None:
+            self._event.set()
+
+    def finish(self) -> None:
+        """Mark the stream complete; idempotence is an error (exactly once)."""
+        if self._finished:
+            raise RuntimeError(f"stream {self.request_id!r} finished twice")
+        self._finished = True
+        if self._event is not None:
+            self._event.set()
+
+    # ------------------------------------------------------------------
+    def get_nowait(self) -> TokenChunk | None:
+        """Pop the oldest undrained chunk, or ``None`` if none is waiting."""
+        if not self._pending:
+            return None
+        return self._pending.popleft()
+
+    def drain(self) -> list[TokenChunk]:
+        """Pop and return every chunk that has arrived since the last drain."""
+        out = list(self._pending)
+        self._pending.clear()
+        return out
+
+    def __iter__(self):
+        """Iterate over the currently-available chunks (non-blocking)."""
+        while self._pending:
+            yield self._pending.popleft()
+
+    # -- async consumption ---------------------------------------------
+    def __aiter__(self) -> "TokenStream":
+        return self
+
+    async def __anext__(self) -> TokenChunk:
+        """Await the next chunk; stops when the stream is finished and dry.
+
+        The engine is synchronous, so the event this waits on is only set
+        by ``put``/``finish`` calls made between awaits — pump the engine
+        from the same loop (or another thread) while consuming.
+        """
+        while True:
+            if self._pending:
+                return self._pending.popleft()
+            if self._finished:
+                raise StopAsyncIteration
+            if self._event is None:
+                self._event = asyncio.Event()
+            self._event.clear()
+            await self._event.wait()
+
+
+@dataclass
+class Request:
+    """One client submission: prompt rows, decode budget, optional SLO.
+
+    ``prompt`` is a ``[P, H]`` float64 array of hidden-state rows (``P >=
+    1``); every prompt row is prefilled through the MoE layer, and the last
+    prefill output seeds the decode state.  ``max_new_tokens`` decode steps
+    then each emit one :class:`TokenChunk`.  ``deadline_steps``, when set,
+    is the SLO: the request should complete within that many engine steps
+    of its submission (misses are tracked, not enforced).
+    """
+
+    request_id: str
+    prompt: np.ndarray
+    max_new_tokens: int
+    arrival: float = 0.0
+    deadline_steps: int | None = None
+
+    def __post_init__(self) -> None:
+        self.prompt = np.asarray(self.prompt, dtype=np.float64)
+        if self.prompt.ndim != 2 or self.prompt.shape[0] < 1:
+            raise ValueError(
+                f"prompt must be [P >= 1, H], got shape {self.prompt.shape}"
+            )
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+
+
+@dataclass
+class RequestState:
+    """Mutable lifecycle tracker for one submitted request.
+
+    Owned by the engine/scheduler; clients keep the reference returned by
+    ``submit`` and read the stream plus the per-request metrics off it.
+    ``policy_drops`` / ``capacity_drops`` accumulate the drop attribution
+    flowing from each step's :class:`~repro.runtime.StepTrace` (the slot →
+    request mapping makes per-rank counts per-request counts).
+    """
+
+    request: Request
+    stream: TokenStream
+    status: RequestStatus = RequestStatus.QUEUED
+    slot: int | None = None
+    #: prompt rows already prefilled.
+    cursor: int = 0
+    tokens_emitted: int = 0
+    #: current decode vector (None until prefill completes).
+    hidden: np.ndarray | None = None
+    submitted_step: int | None = None
+    admitted_step: int | None = None
+    first_token_step: int | None = None
+    finished_step: int | None = None
+    policy_drops: int = 0
+    capacity_drops: int = 0
+    #: wall-clock timestamps mirroring the step counters (for benchmarks).
+    wall: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def request_id(self) -> str:
+        """The wrapped request's id."""
+        return self.request.request_id
+
+    @property
+    def prompt_remaining(self) -> int:
+        """Prompt rows not yet prefilled."""
+        return int(self.request.prompt.shape[0]) - self.cursor
+
+    @property
+    def done(self) -> bool:
+        """Whether the decode budget has been fully emitted."""
+        return self.tokens_emitted >= self.request.max_new_tokens
+
+    @property
+    def queue_steps(self) -> int | None:
+        """Steps spent waiting for admission (None until admitted)."""
+        if self.admitted_step is None or self.submitted_step is None:
+            return None
+        return self.admitted_step - self.submitted_step
+
+    @property
+    def ttft_steps(self) -> int | None:
+        """Submission-to-first-token steps (None until the first token)."""
+        if self.first_token_step is None or self.submitted_step is None:
+            return None
+        return self.first_token_step - self.submitted_step
+
+    @property
+    def latency_steps(self) -> int | None:
+        """Submission-to-completion steps (None until terminal)."""
+        if self.finished_step is None or self.submitted_step is None:
+            return None
+        return self.finished_step - self.submitted_step
+
+    @property
+    def deadline_missed(self) -> bool:
+        """Whether the finished request blew its ``deadline_steps`` SLO."""
+        deadline = self.request.deadline_steps
+        latency = self.latency_steps
+        return deadline is not None and latency is not None and latency > deadline
+
+    # ------------------------------------------------------------------
+    def service_steps(self, prefill_chunk: int) -> int:
+        """Engine steps this request needs once admitted (for bounds)."""
+        prefill = -(-int(self.request.prompt.shape[0]) // max(1, prefill_chunk))
+        return prefill + self.request.max_new_tokens
+
+    def next_rows(self, prefill_chunk: int) -> np.ndarray:
+        """The rows this request contributes to the next step's slot batch.
+
+        Prefill steps take up to ``prefill_chunk`` unconsumed prompt rows;
+        once the prompt is exhausted, decode steps carry the single current
+        hidden vector.  Prefill and decode rows are never mixed in one
+        step, so the per-slot shape schedule is a pure function of the
+        request — the keystone of batching invariance.
+        """
+        if self.prompt_remaining > 0:
+            end = min(self.cursor + max(1, prefill_chunk), self.request.prompt.shape[0])
+            return self.request.prompt[self.cursor : end]
+        if self.hidden is None:  # pragma: no cover - engine invariant
+            raise RuntimeError(f"request {self.request_id!r} has no decode state")
+        return self.hidden[None, :]
+
+    def summary(self) -> dict:
+        """Per-request metrics row (what the SLO table aggregates)."""
+        return {
+            "request": self.request_id,
+            "status": self.status.value,
+            "queue_steps": self.queue_steps,
+            "ttft_steps": self.ttft_steps,
+            "latency_steps": self.latency_steps,
+            "tokens": self.tokens_emitted,
+            "policy_drops": self.policy_drops,
+            "capacity_drops": self.capacity_drops,
+            "deadline_missed": self.deadline_missed,
+        }

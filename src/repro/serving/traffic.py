@@ -1,0 +1,252 @@
+"""Synthetic serving traffic: arrival processes, request factories, trace runner.
+
+The serving benchmark needs repeatable heavy traffic.  This module
+generates it in two open-loop flavors — Poisson arrivals (exponential
+inter-arrival gaps at a chosen intensity) and a bursty trace (whole batches
+landing at once, then silence) — turns the arrival schedule into concrete
+:class:`~repro.serving.request.Request` objects, and drives a
+:class:`~repro.serving.engine.ServingEngine` through the trace with
+:func:`run_trace`: submissions happen when the engine's step counter
+reaches each request's arrival step, independent of completions (open
+loop), which is what actually stresses admission under load.
+
+The resulting :class:`ServeReport` aggregates the per-request metrics into
+the SLO table the benchmark prints and records: p50/p99 queue wait,
+time-to-first-token, and end-to-end latency (all step-denominated, so two
+runs of the same trace agree exactly), plus tokens/sec and deadline-miss
+rate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.engine import ServingEngine
+from repro.serving.request import Request, RequestStatus
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, num_requests: int, rate: float
+) -> list[int]:
+    """Open-loop Poisson arrival steps: ``rate`` requests per engine step.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate``; the returned
+    list holds each request's (non-decreasing, integer) arrival step.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    gaps = rng.exponential(1.0 / rate, size=num_requests)
+    return np.floor(np.cumsum(gaps)).astype(int).tolist()
+
+
+def bursty_arrivals(
+    num_requests: int, *, burst_size: int, gap_steps: int
+) -> list[int]:
+    """Bursty arrival steps: ``burst_size`` requests land every ``gap_steps``.
+
+    The adversarial counterpart to Poisson traffic — every burst
+    oversubscribes the slots at once, so queueing (and the continuous vs
+    static admission gap) is maximal.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    if burst_size < 1 or gap_steps < 0:
+        raise ValueError("burst_size must be >= 1 and gap_steps >= 0")
+    return [(i // burst_size) * gap_steps for i in range(num_requests)]
+
+
+def synth_requests(
+    rng: np.random.Generator,
+    arrivals: list[int],
+    hidden_size: int,
+    *,
+    prompt_len: tuple[int, int] = (2, 8),
+    max_new_tokens: tuple[int, int] = (2, 8),
+    deadline_steps: int | None = None,
+    prefix: str = "req",
+) -> list[Request]:
+    """Materialize one :class:`Request` per arrival step.
+
+    Prompt lengths and decode budgets are drawn uniformly from the given
+    inclusive ranges; prompt rows are standard-normal hidden states.  All
+    randomness comes from ``rng``, so a trace is reproducible from its
+    seed.
+    """
+    lo_p, hi_p = prompt_len
+    lo_t, hi_t = max_new_tokens
+    if lo_p < 1 or lo_t < 1:
+        raise ValueError("prompt_len and max_new_tokens ranges start at >= 1")
+    requests = []
+    for i, arrival in enumerate(arrivals):
+        rows = int(rng.integers(lo_p, hi_p + 1))
+        budget = int(rng.integers(lo_t, hi_t + 1))
+        requests.append(
+            Request(
+                request_id=f"{prefix}-{i:04d}",
+                prompt=rng.standard_normal((rows, hidden_size)),
+                max_new_tokens=budget,
+                arrival=float(arrival),
+                deadline_steps=deadline_steps,
+            )
+        )
+    return requests
+
+
+def _percentile(values: list[int | float], q: float) -> float:
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+@dataclass
+class ServeReport:
+    """Aggregated outcome of one served trace (the SLO table's data)."""
+
+    admission: str
+    num_requests: int
+    completed: int
+    rejected: int
+    steps: int
+    wall_seconds: float
+    tokens: int
+    latency_p50: float
+    latency_p99: float
+    ttft_p50: float
+    ttft_p99: float
+    queue_p50: float
+    queue_p99: float
+    deadline_miss_rate: float
+    policy_drops: int
+    capacity_drops: int
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Decode throughput over the trace's wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tokens / self.wall_seconds
+
+    @property
+    def tokens_per_step(self) -> float:
+        """Decode throughput per engine step (wall-clock independent)."""
+        if self.steps <= 0:
+            return 0.0
+        return self.tokens / self.steps
+
+    @classmethod
+    def from_engine(
+        cls, engine: ServingEngine, *, steps: int, wall_seconds: float
+    ) -> "ServeReport":
+        """Fold the engine's request ledger into one report."""
+        states = list(engine.states.values())
+        finished = [s for s in states if s.status is RequestStatus.COMPLETED]
+        latencies = [s.latency_steps for s in finished]
+        ttfts = [s.ttft_steps for s in finished if s.ttft_steps is not None]
+        queues = [s.queue_steps for s in finished if s.queue_steps is not None]
+        with_deadline = [
+            s for s in finished if s.request.deadline_steps is not None
+        ]
+        miss_rate = (
+            sum(1 for s in with_deadline if s.deadline_missed) / len(with_deadline)
+            if with_deadline
+            else 0.0
+        )
+        return cls(
+            admission=engine.scheduler.admission.name,
+            num_requests=len(states),
+            completed=len(finished),
+            rejected=sum(
+                1 for s in states if s.status is RequestStatus.REJECTED
+            ),
+            steps=steps,
+            wall_seconds=wall_seconds,
+            tokens=sum(s.tokens_emitted for s in finished),
+            latency_p50=_percentile(latencies, 50),
+            latency_p99=_percentile(latencies, 99),
+            ttft_p50=_percentile(ttfts, 50),
+            ttft_p99=_percentile(ttfts, 99),
+            queue_p50=_percentile(queues, 50),
+            queue_p99=_percentile(queues, 99),
+            deadline_miss_rate=miss_rate,
+            policy_drops=sum(s.policy_drops for s in states),
+            capacity_drops=sum(s.capacity_drops for s in states),
+        )
+
+    def slo_row(self) -> dict:
+        """One row of the printed SLO table (JSON-ready)."""
+        return {
+            "admission": self.admission,
+            "requests": self.num_requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "steps": self.steps,
+            "tokens": self.tokens,
+            "tokens_per_step": round(self.tokens_per_step, 3),
+            "tokens_per_sec": round(self.tokens_per_second, 1),
+            "queue_p50": self.queue_p50,
+            "queue_p99": self.queue_p99,
+            "ttft_p50": self.ttft_p50,
+            "ttft_p99": self.ttft_p99,
+            "latency_p50": self.latency_p50,
+            "latency_p99": self.latency_p99,
+            "deadline_miss_rate": round(self.deadline_miss_rate, 4),
+            "policy_drops": self.policy_drops,
+            "capacity_drops": self.capacity_drops,
+        }
+
+
+def format_slo_table(rows: list[dict], *, title: str = "serving SLO") -> str:
+    """Render SLO rows as an aligned text table (benchmark output)."""
+    if not rows:
+        return f"{title}: (no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        c: max(len(c), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    header = "  ".join(c.rjust(widths[c]) for c in columns)
+    lines = [f"== {title} ==", header]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(c, "")).rjust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def run_trace(
+    engine: ServingEngine,
+    requests: list[Request],
+    *,
+    max_steps: int = 100_000,
+) -> ServeReport:
+    """Drive the engine through an open-loop trace until it drains.
+
+    Each request is submitted the first step the engine clock reaches its
+    ``arrival`` value (arrival order, then list order — deterministic), the
+    engine steps regardless of queue depth (open loop), and the trace ends
+    when every submitted request is terminal.
+    """
+    ordered = sorted(
+        range(len(requests)), key=lambda i: (requests[i].arrival, i)
+    )
+    start_step = engine.step_index
+    start = time.perf_counter()
+    cursor = 0
+    while cursor < len(ordered) or engine.has_work:
+        if engine.step_index - start_step >= max_steps:
+            raise RuntimeError(f"trace not drained after {max_steps} steps")
+        while cursor < len(ordered):
+            request = requests[ordered[cursor]]
+            if request.arrival > engine.step_index - start_step:
+                break
+            engine.submit(request)
+            cursor += 1
+        engine.step()
+    wall = time.perf_counter() - start
+    return ServeReport.from_engine(
+        engine, steps=engine.step_index - start_step, wall_seconds=wall
+    )

@@ -94,6 +94,84 @@ def test_numeric_metrics_flattens_gate_figures():
     }
 
 
+def test_latency_metrics_flattens_lower_is_better_figures():
+    summary = load_summary()
+    record = {
+        "latency_p99_steps": {"poisson-hi": 49.59, "bogus": "n/a", "flag": True},
+        "latency_p50_steps": {"poisson-hi": 28.0},
+        "latency_scalar": 3.5,
+        "latency_enabled": True,
+        "speedup_tokens_per_sec": {"poisson-hi": 1.23},
+        "seconds": {"warm": 0.004},
+    }
+    assert summary.latency_metrics(record) == {
+        "latency_p99_steps[poisson-hi]": 49.59,
+        "latency_p50_steps[poisson-hi]": 28.0,
+        "latency_scalar": 3.5,
+    }
+    # The two directions never overlap: speedups are not latencies.
+    assert "latency_scalar" not in summary.numeric_metrics(record)
+    assert "speedup_tokens_per_sec[poisson-hi]" not in summary.latency_metrics(record)
+
+
+def test_summarize_record_includes_latency_rows():
+    summary = load_summary()
+    rows = summary.summarize_record(
+        "serving_bench",
+        {
+            "speedup_tokens_per_sec": {"bursty": 1.24},
+            "latency_p99_steps": {"bursty": 27.59},
+        },
+    )
+    metrics = {(r[0], r[1]): r[2] for r in rows}
+    assert metrics[("serving_bench", "speedup_tokens_per_sec[bursty]")] == "1.24x"
+    assert metrics[("serving_bench", "latency_p99_steps[bursty]")] == "27.59"
+
+
+def test_check_gates_latency_in_rising_direction(tmp_path):
+    summary = load_summary()
+    # Latency rose 2x: regression even though every speedup held steady.
+    _history(
+        tmp_path,
+        "serving",
+        [
+            {"speedup_tps": 1.2, "latency_p99_steps": {"hi": 40.0}},
+            {"speedup_tps": 1.2, "latency_p99_steps": {"hi": 42.0}},
+            {"speedup_tps": 1.2, "latency_p99_steps": {"hi": 80.0}},
+        ],
+    )
+    regressions, notes = summary.check_trajectories(tmp_path, tolerance=0.25)
+    assert len(regressions) == 1
+    assert "latency_p99_steps[hi]" in regressions[0] and ">" in regressions[0]
+    assert any("speedup_tps" in n and "ok" in n for n in notes)
+
+    # A latency *drop* is an improvement, never a regression.
+    _history(
+        tmp_path,
+        "serving",
+        [
+            {"latency_p99_steps": {"hi": 40.0}},
+            {"latency_p99_steps": {"hi": 42.0}},
+            {"latency_p99_steps": {"hi": 5.0}},
+        ],
+    )
+    regressions, notes = summary.check_trajectories(tmp_path, tolerance=0.25)
+    assert regressions == []
+    assert any("latency_p99_steps[hi]" in n and "ok" in n for n in notes)
+
+
+def test_main_check_fails_on_latency_regression(tmp_path, capsys):
+    summary = load_summary()
+    _history(
+        tmp_path,
+        "serving",
+        [{"latency_p99_steps": {"hi": 40.0}}, {"latency_p99_steps": {"hi": 90.0}}],
+    )
+    assert summary.main(["--results-dir", str(tmp_path), "--check"]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "latency_p99_steps[hi]" in out
+
+
 def test_check_flags_regressions_within_tolerance(tmp_path):
     summary = load_summary()
     _history(

@@ -92,6 +92,41 @@ class TestCLI:
         assert snapshot["schema"] == "repro.obs.metrics/v1"
         assert "routing_steps" in snapshot["metrics"]
 
+    def test_serve_command(self, capsys):
+        assert (
+            main(["serve", "--requests", "10", "--slots", "4", "--deadline", "60"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served 10 requests" in out
+        assert "serving SLO" in out
+        assert "fcfs" in out and "latency_p99" in out
+
+    def test_serve_command_compare_prints_speedup(self, capsys):
+        assert (
+            main(
+                [
+                    "serve", "--requests", "12", "--slots", "4",
+                    "--trace", "bursty", "--burst-size", "6", "--compare",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "static" in out and "speedup" in out
+
+    def test_serve_command_admission_choices(self, capsys):
+        for admission in ("static", "memory-budget"):
+            assert (
+                main(
+                    ["serve", "--requests", "6", "--slots", "4",
+                     "--admission", admission]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert admission in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])
