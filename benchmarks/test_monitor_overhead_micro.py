@@ -1,0 +1,192 @@
+"""Monitoring overhead micro-benchmark: the monitor must ride along ~free.
+
+The online monitor (:class:`repro.obs.Monitor`) runs once per serving
+engine step — a registry instrument diff, a handful of detector updates,
+and ring-buffer appends — strictly after the step's tokens are already
+streamed.  Its cost is therefore pure overhead on the serving hot loop,
+and this benchmark holds the bar the ISSUE sets: the monitoring-on warm
+serving *step* must stay within ``MONITOR_MAX_OVERHEAD`` (default 1.1x)
+of the monitoring-off step.
+
+Both arms serve the *identical* request trace through identically-seeded
+engines (the determinism suite proves the streams are bit-identical), so
+the only difference between the timed runs is the monitor's
+``observe_step`` work.  The compared statistic is the **median per-step
+wall time pooled across repeats**, with the arms interleaved and their
+within-pair order alternated: serves are bit-deterministic, so repeats
+never change the result, and the median over ~750 step samples per arm
+is robust to the bursty preemption a total-wall ratio would inhale on a
+busy host.  The cyclic GC is paused around each timed serve — a
+collection pass costs proportionally to the whole process's live-object
+count, which would charge this micro-benchmark for every other test's
+surviving objects.
+
+Each run writes ``benchmarks/results/monitor_overhead_micro.json`` with a
+``speedup_monitoring`` figure (off/on median step ratio,
+higher-is-better, regression-gated by ``scripts/bench_summary.py
+--check``) plus the raw per-arm seconds and per-step costs.
+"""
+
+import gc
+import os
+import statistics
+import time
+
+import numpy as np
+from conftest import print_table, write_record
+
+from repro.obs import default_serving_monitor
+from repro.serving import (
+    make_serving_engine,
+    poisson_arrivals,
+    synth_requests,
+)
+from repro.serving.traffic import ServeReport
+
+SLOTS, HIDDEN, TOP_K = 8, 64, 2
+NUM_REQUESTS, SEED = 48, 7
+RATE = 1.2
+PROMPT_LEN, MAX_NEW_TOKENS = (4, 12), (8, 16)
+DEADLINE_STEPS = 80
+
+#: allowed monitored/unmonitored median-step wall ratio.
+MAX_OVERHEAD = float(os.environ.get("MONITOR_MAX_OVERHEAD", "1.1"))
+
+#: timed serves per arm; every step of every repeat feeds the pooled
+#: median, so more repeats tighten the statistic without changing it.
+REPEATS = 8
+
+
+def _requests():
+    rng = np.random.default_rng(SEED)
+    arrivals = poisson_arrivals(rng, NUM_REQUESTS, RATE)
+    return synth_requests(
+        rng,
+        arrivals,
+        HIDDEN,
+        prompt_len=PROMPT_LEN,
+        max_new_tokens=MAX_NEW_TOKENS,
+        deadline_steps=DEADLINE_STEPS,
+    )
+
+
+def _serve_once(*, monitored: bool):
+    """One full serve, timing every engine step individually."""
+    engine = make_serving_engine(
+        num_slots=SLOTS, top_k=TOP_K, hidden_size=HIDDEN, seed=SEED
+    )
+    if monitored:
+        engine.monitor = default_serving_monitor(
+            engine.registry, telemetry=engine.runtime.telemetry
+        )
+    requests = _requests()
+    ordered = sorted(
+        range(len(requests)), key=lambda i: (requests[i].arrival, i)
+    )
+    cursor = 0
+    step_times = []
+    gc.collect()
+    gc.disable()
+    try:
+        while cursor < len(ordered) or engine.has_work:
+            while cursor < len(ordered):
+                request = requests[ordered[cursor]]
+                if request.arrival > engine.step_index:
+                    break
+                engine.submit(request)
+                cursor += 1
+            t0 = time.perf_counter()
+            engine.step()
+            step_times.append(time.perf_counter() - t0)
+    finally:
+        gc.enable()
+    report = ServeReport.from_engine(
+        engine, steps=engine.step_index, wall_seconds=sum(step_times)
+    )
+    return report, engine, step_times
+
+
+def test_monitor_overhead_micro():
+    # Warm the process (imports, allocator, BLAS) outside any timed run.
+    _serve_once(monitored=True)
+
+    # Interleave the arms, alternating which goes first in each pair, so
+    # neither slow drift (thermal, background load) nor periodic
+    # interference aliased to the pair period can systematically charge
+    # one arm.
+    offs, ons = [], []
+    for i in range(REPEATS):
+        if i % 2:
+            ons.append(_serve_once(monitored=True))
+            offs.append(_serve_once(monitored=False))
+        else:
+            offs.append(_serve_once(monitored=False))
+            ons.append(_serve_once(monitored=True))
+    off, _, _ = offs[0]
+    on, engine, _ = ons[0]
+
+    # Identical work both ways — the timing compares like with like.
+    assert on.completed == off.completed == NUM_REQUESTS
+    assert on.tokens == off.tokens
+    assert on.steps == off.steps
+    assert (on.latency_p50, on.latency_p99) == (off.latency_p50, off.latency_p99)
+
+    # The monitor actually observed the run it rode along with.
+    monitor = engine.monitor
+    assert monitor.steps_observed == on.steps
+    assert monitor.sampler.series, "monitor sampled no series"
+
+    step_off = statistics.median(t for _, _, times in offs for t in times)
+    step_on = statistics.median(t for _, _, times in ons for t in times)
+    ratio = step_on / max(step_off, 1e-12)
+    wall_off = min(report.wall_seconds for report, _, _ in offs)
+    wall_on = min(report.wall_seconds for report, _, _ in ons)
+
+    print_table(
+        f"Monitoring overhead (slots={SLOTS}, H={HIDDEN}, k={TOP_K}, "
+        f"{NUM_REQUESTS} requests, seed={SEED}, median step of "
+        f"{REPEATS}x{on.steps})",
+        [
+            {
+                "arm": "monitor off",
+                "step_us": round(step_off * 1e6, 1),
+                "best_wall_ms": round(wall_off * 1e3, 3),
+                "steps": off.steps,
+            },
+            {
+                "arm": "monitor on",
+                "step_us": round(step_on * 1e6, 1),
+                "best_wall_ms": round(wall_on * 1e3, 3),
+                "steps": on.steps,
+            },
+        ],
+    )
+
+    write_record(
+        "monitor_overhead_micro",
+        {
+            "workload": {
+                "slots": SLOTS,
+                "hidden": HIDDEN,
+                "top_k": TOP_K,
+                "requests": NUM_REQUESTS,
+                "rate": RATE,
+                "seed": SEED,
+            },
+            "seconds": {
+                "serve_unmonitored": round(wall_off, 6),
+                "serve_monitored": round(wall_on, 6),
+                "step_unmonitored": round(step_off, 9),
+                "step_monitored": round(step_on, 9),
+            },
+            "series_sampled": len(monitor.sampler.series),
+            "speedup_monitoring": round(1.0 / ratio, 4),
+            "overhead_ratio": round(ratio, 4),
+        },
+    )
+
+    assert ratio <= MAX_OVERHEAD, (
+        f"monitored median step {step_on * 1e6:.1f} us is {ratio:.3f}x the "
+        f"unmonitored {step_off * 1e6:.1f} us (max {MAX_OVERHEAD}x, env "
+        f"MONITOR_MAX_OVERHEAD)"
+    )

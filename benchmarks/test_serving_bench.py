@@ -93,6 +93,44 @@ def _serve(trace: str, *, static: bool):
     return min(reports, key=lambda report: report.wall_seconds)
 
 
+def test_bucket_quantiles_match_exact():
+    """The report's bucketed percentiles agree with the exact oracle.
+
+    ``ServeReport`` reads p50/p99 off the registry's log-bucketed
+    histograms; adjacent bucket bounds are ~10% apart (24 buckets per
+    decade), so the estimate must sit within that relative resolution —
+    plus one step of absolute slack for the smallest latencies — of the
+    exact percentile over the raw per-request values that
+    ``traffic._percentile`` computes.
+    """
+    from repro.serving.request import RequestStatus
+    from repro.serving.traffic import _percentile
+
+    for trace in TRACES:
+        engine = make_serving_engine(
+            num_slots=SLOTS, top_k=TOP_K, hidden_size=HIDDEN, seed=SEED
+        )
+        report = run_trace(engine, _requests(trace))
+        finished = [
+            s
+            for s in engine.states.values()
+            if s.status is RequestStatus.COMPLETED
+        ]
+        assert finished
+        for attr, p50_est, p99_est in (
+            ("latency_steps", report.latency_p50, report.latency_p99),
+            ("ttft_steps", report.ttft_p50, report.ttft_p99),
+        ):
+            values = [getattr(s, attr) for s in finished]
+            for q, estimate in ((50.0, p50_est), (99.0, p99_est)):
+                exact = _percentile(values, q)
+                tolerance = 0.12 * exact + 1.0
+                assert abs(estimate - exact) <= tolerance, (
+                    f"{trace} {attr} p{q:.0f}: bucketed {estimate} vs exact "
+                    f"{exact} (tolerance {tolerance:.3f})"
+                )
+
+
 def test_serving_bench():
     # Warm the process (imports, allocator, BLAS) outside any timed run so
     # the first measured engine is not charged for one-time costs.

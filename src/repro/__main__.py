@@ -10,6 +10,7 @@ Usage::
     python -m repro tune        # auto-tune a parallel plan for a cluster
     python -m repro obs         # record a traced run; summarize / export it
     python -m repro serve       # continuous-batching serving over a trace
+    python -m repro monitor     # serve a trace with online SLO/drift monitoring
 
 Each subcommand prints the corresponding rows; the full benchmark harness
 (with assertions on the expected shapes) lives under ``benchmarks/``.
@@ -174,36 +175,38 @@ def _cmd_obs(args) -> None:
         print(f"wrote metrics snapshot: {path}")
 
 
+def _build_requests(args, rng):
+    from repro.serving import bursty_arrivals, poisson_arrivals, synth_requests
+
+    if args.trace == "poisson":
+        arrivals = poisson_arrivals(rng, args.requests, args.rate)
+    else:
+        arrivals = bursty_arrivals(
+            args.requests, burst_size=args.burst_size, gap_steps=args.gap_steps
+        )
+    return synth_requests(
+        rng,
+        arrivals,
+        args.hidden,
+        prompt_len=(2, args.max_prompt),
+        max_new_tokens=(2, args.max_tokens),
+        deadline_steps=args.deadline,
+    )
+
+
 def _cmd_serve(args) -> None:
     import numpy as np
 
     from repro.serving import (
         MemoryBudgetAdmission,
         StaticBatchAdmission,
-        bursty_arrivals,
         format_slo_table,
         make_serving_engine,
-        poisson_arrivals,
         run_trace,
-        synth_requests,
     )
 
     def build_requests():
-        rng = np.random.default_rng(args.seed)
-        if args.trace == "poisson":
-            arrivals = poisson_arrivals(rng, args.requests, args.rate)
-        else:
-            arrivals = bursty_arrivals(
-                args.requests, burst_size=args.burst_size, gap_steps=args.gap_steps
-            )
-        return synth_requests(
-            rng,
-            arrivals,
-            args.hidden,
-            prompt_len=(2, args.max_prompt),
-            max_new_tokens=(2, args.max_tokens),
-            deadline_steps=args.deadline,
-        )
+        return _build_requests(args, np.random.default_rng(args.seed))
 
     def build_admission(name):
         if name == "static":
@@ -229,6 +232,7 @@ def _cmd_serve(args) -> None:
     repeats = 3 if args.compare else 1
     warmed = not args.compare
     rows = []
+    primary_monitor = None
     for name in admissions:
         reports = []
         for _ in range(repeats + (0 if warmed else 1)):
@@ -241,6 +245,14 @@ def _cmd_serve(args) -> None:
                 seed=args.seed,
                 admission=build_admission(name),
             )
+            if args.monitor:
+                from repro.obs import default_serving_monitor
+
+                engine.monitor = default_serving_monitor(
+                    engine.registry, telemetry=engine.runtime.telemetry
+                )
+                if name == args.admission:
+                    primary_monitor = engine.monitor
             reports.append(run_trace(engine, build_requests()))
             if not warmed:
                 warmed = True
@@ -263,6 +275,141 @@ def _cmd_serve(args) -> None:
     if len(rows) == 2 and rows[1]["tokens_per_sec"] > 0:
         speedup = rows[0]["tokens_per_sec"] / rows[1]["tokens_per_sec"]
         print(f"\ncontinuous vs static tokens/sec speedup: {speedup:.2f}x")
+    if primary_monitor is not None:
+        from repro.obs import render_dashboard
+
+        print()
+        print(
+            render_dashboard(
+                primary_monitor, prefixes=("serving_", "routing_")
+            )
+        )
+
+
+def _force_skew(engine, requests, rng, *, start_fraction: float = 0.4):
+    """Rebuild the tail of a trace as prefill-heavy, expert-aligned requests.
+
+    The first ``start_fraction`` of the trace stays balanced (the drift
+    detectors calibrate on it); every later request gets a long prompt of
+    :func:`~repro.routing.policies.skewed_router_tokens` rows aligned to
+    the engine policy's weight columns, so routing load piles onto the
+    popular experts and the load-imbalance series ramps — the deterministic
+    drift the monitor must catch.
+    """
+    from repro.routing.policies import skewed_router_tokens
+    from repro.serving import Request
+
+    weight = engine.runtime.policy.weight
+    cut = max(1, int(len(requests) * start_fraction))
+    skewed = list(requests[:cut])
+    for request in requests[cut:]:
+        rows = max(int(request.prompt.shape[0]), 12)
+        skewed.append(
+            Request(
+                request_id=request.request_id,
+                prompt=skewed_router_tokens(rng, rows, weight, skew=3.0, boost=8.0),
+                max_new_tokens=min(request.max_new_tokens, 2),
+                arrival=request.arrival,
+                deadline_steps=request.deadline_steps,
+            )
+        )
+    return skewed
+
+
+def _cmd_monitor(args) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.obs import (
+        MonitorConfig,
+        Tracer,
+        default_serving_monitor,
+        render_dashboard,
+        use_tracer,
+        write_chrome_trace,
+        write_metrics_json,
+    )
+    from repro.serving import make_serving_engine, run_trace
+
+    engine = make_serving_engine(
+        router=args.router,
+        dispatch=args.dispatch,
+        num_slots=args.slots,
+        top_k=args.top_k,
+        hidden_size=args.hidden,
+        seed=args.seed,
+        capacity_factor=args.capacity_factor,
+    )
+    retune_hook = None
+    if args.retune:
+        from repro.config import ParallelConfig, frontier_system, paper_config
+        from repro.obs import TunerReTuneHook
+        from repro.tuner import SearchSpace
+
+        model = paper_config("small")
+        system = frontier_system(num_nodes=2)
+        tokens = 64 * model.seq_length
+        # A small axis-constrained space keeps the online re-tune fast;
+        # the naive flat/EP=1 active plan is what drift should replace.
+        space = SearchSpace(
+            system=system,
+            model=model,
+            tokens_per_step=tokens,
+            router_options=("softmax-topk",),
+            capacity_factors=(1.0, 1.25),
+        )
+        retune_hook = TunerReTuneHook(
+            model,
+            system,
+            ParallelConfig(world_size=system.total_gpus, ep_size=1, dispatch="flat"),
+            space=space,
+        )
+    config = MonitorConfig(
+        warmup=args.warmup,
+        latency_p99_slo=args.latency_slo,
+        ttft_p99_slo=args.ttft_slo,
+        deadline_budget=args.deadline_budget,
+    )
+    monitor = default_serving_monitor(
+        engine.registry,
+        telemetry=engine.runtime.telemetry,
+        config=config,
+        retune_hook=retune_hook,
+    )
+    engine.monitor = monitor
+
+    rng = np.random.default_rng(args.seed)
+    requests = _build_requests(args, rng)
+    if args.force_skew:
+        requests = _force_skew(engine, requests, rng)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = run_trace(engine, requests)
+    health = monitor.health()
+    print(
+        f"monitored {args.requests} requests over {report.steps} steps: "
+        f"trace={args.trace} router={args.router} dispatch={args.dispatch} "
+        f"slots={args.slots}"
+    )
+    print()
+    print(render_dashboard(monitor, prefixes=("serving_", "routing_")))
+    if args.metrics_out:
+        path = write_metrics_json(args.metrics_out, engine.registry)
+        print(f"wrote metrics snapshot: {path}")
+    if args.dashboard_out:
+        path = Path(args.dashboard_out)
+        path.write_text(
+            render_dashboard(
+                monitor, markdown=True, prefixes=("serving_", "routing_")
+            )
+        )
+        print(f"wrote dashboard: {path}")
+    if args.trace_out:
+        path = write_chrome_trace(args.trace_out, tracer, monitor=monitor)
+        print(f"wrote Perfetto trace: {path} (open at https://ui.perfetto.dev)")
+    print(f"\nexit code {health.exit_code} ({health.status})")
+    return health.exit_code
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -360,10 +507,91 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the static fixed-batch baseline and print the speedup",
     )
     serve.add_argument("--seed", type=int, default=0, help="trace + engine seed")
+    serve.add_argument(
+        "--monitor", action="store_true",
+        help="attach the online monitor and print its dashboard after the run",
+    )
     serve.set_defaults(fn=_cmd_serve)
+    monitor = sub.add_parser(
+        "monitor",
+        help="serve a trace with online SLO/drift monitoring; exit code = health",
+    )
+    monitor.add_argument("--router", default="softmax-topk", help="router policy name")
+    monitor.add_argument(
+        "--dispatch", choices=("flat", "rbd", "hier"), default="flat",
+        help="dispatch strategy to serve through",
+    )
+    monitor.add_argument("--slots", type=int, default=8, help="serving slots (EP ranks)")
+    monitor.add_argument("--top-k", type=int, default=2, help="experts per token")
+    monitor.add_argument("--hidden", type=int, default=32, help="hidden size")
+    monitor.add_argument("--requests", type=int, default=32, help="requests in the trace")
+    monitor.add_argument(
+        "--trace", choices=("poisson", "bursty"), default="poisson",
+        help="arrival process",
+    )
+    monitor.add_argument(
+        "--rate", type=float, default=1.0, help="Poisson arrivals per engine step"
+    )
+    monitor.add_argument(
+        "--burst-size", type=int, default=8, help="requests per burst (bursty trace)"
+    )
+    monitor.add_argument(
+        "--gap-steps", type=int, default=16, help="steps between bursts (bursty trace)"
+    )
+    monitor.add_argument(
+        "--max-prompt", type=int, default=8, help="max prompt rows per request"
+    )
+    monitor.add_argument(
+        "--max-tokens", type=int, default=12, help="max decode tokens per request"
+    )
+    monitor.add_argument(
+        "--deadline", type=int, default=None, help="per-request SLO deadline in steps"
+    )
+    monitor.add_argument(
+        "--capacity-factor", type=float, default=None,
+        help="per-expert capacity factor (None = unbounded, no drops)",
+    )
+    monitor.add_argument("--seed", type=int, default=0, help="trace + engine seed")
+    monitor.add_argument(
+        "--warmup", type=int, default=16,
+        help="calibration steps before drift detectors may fire",
+    )
+    monitor.add_argument(
+        "--latency-slo", type=float, default=None,
+        help="SLO bound on the windowed latency p99 (steps)",
+    )
+    monitor.add_argument(
+        "--ttft-slo", type=float, default=None,
+        help="SLO bound on the windowed TTFT p99 (steps)",
+    )
+    monitor.add_argument(
+        "--deadline-budget", type=float, default=None,
+        help="tolerated deadline-miss fraction for the burn-rate rule",
+    )
+    monitor.add_argument(
+        "--force-skew", action="store_true",
+        help="rebuild the trace tail as expert-aligned prompts to force drift",
+    )
+    monitor.add_argument(
+        "--retune", action="store_true",
+        help="attach the tuner-backed re-tune hook to critical drift alerts",
+    )
+    monitor.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto-loadable Chrome trace JSON here",
+    )
+    monitor.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry snapshot JSON here",
+    )
+    monitor.add_argument(
+        "--dashboard-out", default=None, metavar="PATH",
+        help="write the Markdown dashboard here",
+    )
+    monitor.set_defaults(fn=_cmd_monitor)
     args = parser.parse_args(argv)
-    args.fn(args)
-    return 0
+    rc = args.fn(args)
+    return rc if isinstance(rc, int) else 0
 
 
 if __name__ == "__main__":

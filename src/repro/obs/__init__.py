@@ -15,14 +15,34 @@ primitives and their exporters:
   sets and mergeable snapshots; ``RoutingTelemetry`` and ``CommStats``
   publish here.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (loads in Perfetto,
-  comm spans on per-rank tracks), a metrics JSON snapshot, and a text
-  summary table.
+  comm spans on per-rank tracks, per-request tracks, optional counter
+  tracks), a metrics JSON snapshot, and a text summary table.
+
+Since the monitoring PR the subsystem is also *online*:
+
+* :mod:`repro.obs.series` — bounded step-indexed time series diffed off
+  registry snapshots by :class:`MetricsSampler`;
+* :mod:`repro.obs.detect` — EWMA/CUSUM drift detectors and SLO rules
+  firing typed :class:`Alert` objects into an :class:`AlertLog`;
+* :mod:`repro.obs.monitor` — the per-step :class:`Monitor` loop, its
+  :class:`HealthReport`, and the :class:`ReTuneHook` elasticity trigger;
+* :mod:`repro.obs.dashboard` — ASCII/Markdown rendering of a monitored
+  run (``repro monitor``'s output).
 
 Record-and-export in one call: :func:`record_routing_run` drives an
 instrumented routing workload and returns ``(tracer, registry,
 telemetry)`` — the ``repro obs`` CLI subcommand is a thin wrapper over it.
 """
 
+from repro.obs.dashboard import render_dashboard, sparkline
+from repro.obs.detect import (
+    Alert,
+    AlertLog,
+    BurnRateRule,
+    CusumDetector,
+    EwmaDetector,
+    ThresholdRule,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_json,
@@ -35,26 +55,55 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    log_buckets,
     merge_snapshots,
 )
+from repro.obs.monitor import (
+    HealthReport,
+    Monitor,
+    MonitorConfig,
+    ReTuneHook,
+    TunerReTuneHook,
+    TuningRecommendation,
+    default_serving_monitor,
+)
 from repro.obs.recording import record_routing_run
+from repro.obs.series import MetricsSampler, Series
 from repro.obs.tracer import Span, Tracer, attach, current, detach, span, use_tracer
 
 __all__ = [
+    "Alert",
+    "AlertLog",
+    "BurnRateRule",
     "Counter",
+    "CusumDetector",
+    "EwmaDetector",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricsRegistry",
+    "MetricsSampler",
+    "Monitor",
+    "MonitorConfig",
+    "ReTuneHook",
+    "Series",
     "Span",
+    "ThresholdRule",
     "Tracer",
+    "TunerReTuneHook",
+    "TuningRecommendation",
     "attach",
     "chrome_trace",
     "current",
+    "default_serving_monitor",
     "detach",
+    "log_buckets",
     "merge_snapshots",
     "metrics_json",
     "record_routing_run",
+    "render_dashboard",
     "span",
+    "sparkline",
     "summary_table",
     "use_tracer",
     "write_chrome_trace",

@@ -1,0 +1,142 @@
+"""ASCII / Markdown dashboard rendering for a monitored run.
+
+The terminal-grade surface over :class:`~repro.obs.monitor.Monitor`: one
+sparkline row per non-trivial series (last / min / mean / max plus a
+unicode braille-free sparkline of the retained window), the alert log as
+a table, and the health headline.  Pure formatting — everything rendered
+here is already computed and step-deterministic, so two runs of the same
+workload produce byte-identical dashboards (modulo nothing: there are no
+timestamps in the output).
+
+``render_dashboard`` returns plain text by default; ``markdown=True``
+emits the same content as a Markdown document (tables + fenced health
+block) for CI artifacts and PR comments.
+"""
+
+from __future__ import annotations
+
+from repro.obs.monitor import Monitor
+
+__all__ = ["render_dashboard", "sparkline"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], *, width: int = 32) -> str:
+    """Render values as a fixed-width unicode sparkline.
+
+    Longer series are downsampled by striding from the tail (the recent
+    window is what matters); constant series render as a flat low bar.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        values = values[-width:]
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BARS[0] * len(values)
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(_BARS) - 1))
+        out.append(_BARS[index])
+    return "".join(out)
+
+
+def _series_rows(
+    monitor: Monitor, prefixes: tuple[str, ...] | None
+) -> list[tuple[str, str, str, str, str, str]]:
+    rows = []
+    for name, series in sorted(monitor.sampler.series.items()):
+        if prefixes is not None and not name.startswith(prefixes):
+            continue
+        values = series.values()
+        if not values or all(v == 0.0 for v in values):
+            continue
+        rows.append(
+            (
+                name,
+                f"{values[-1]:.3f}",
+                f"{min(values):.3f}",
+                f"{sum(values) / len(values):.3f}",
+                f"{max(values):.3f}",
+                sparkline(values),
+            )
+        )
+    return rows
+
+
+def _text_table(headers: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    lines += [" | ".join(c.ljust(w) for c, w in zip(r, widths)) for r in rows]
+    return "\n".join(lines)
+
+
+def _markdown_table(headers: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    lines += ["| " + " | ".join(r) + " |" for r in rows]
+    return "\n".join(lines)
+
+
+def render_dashboard(
+    monitor: Monitor,
+    *,
+    title: str = "serving monitor",
+    markdown: bool = False,
+    prefixes: tuple[str, ...] | None = None,
+) -> str:
+    """The monitor's series, alerts, and health as one renderable document.
+
+    ``prefixes`` limits the series table to names starting with any of the
+    given prefixes (the CLI passes ``("serving_", "routing_")`` to keep
+    the per-tier comm byte series out of the terminal view); alerts and
+    health always show everything.
+    """
+    health = monitor.health()
+    series_rows = _series_rows(monitor, prefixes)
+    alert_rows = [
+        (
+            str(a.step),
+            a.severity,
+            a.kind,
+            a.source,
+            f"{a.value:.3f}",
+            f"{a.threshold:.3f}",
+        )
+        for a in monitor.alerts
+    ]
+    series_headers = ("series", "last", "min", "mean", "max", "trend")
+    alert_headers = ("step", "severity", "kind", "source", "value", "threshold")
+    table = _markdown_table if markdown else _text_table
+    sections = []
+    if markdown:
+        sections.append(f"# {title}")
+        sections.append(f"**health: {health.status}** after {health.steps_observed} steps")
+    else:
+        sections.append(f"== {title} ==")
+        sections.append(health.describe())
+    if series_rows:
+        sections.append(("## series\n" if markdown else "") + table(series_headers, series_rows))
+    if alert_rows:
+        sections.append(("## alerts\n" if markdown else "") + table(alert_headers, alert_rows))
+    elif markdown:
+        sections.append("## alerts\n(none fired)")
+    else:
+        sections.append("(no alerts fired)")
+    for recommendation in health.recommendations:
+        row = recommendation.summary()
+        sections.append(
+            f"re-tune recommendation @ step {row['step']}: {row['plan']} "
+            f"({'differs from' if row['differs'] else 'matches'} active plan)"
+        )
+    return "\n\n".join(sections) + "\n"

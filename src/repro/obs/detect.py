@@ -1,0 +1,397 @@
+"""Drift detectors, SLO rules, and the typed alert log they fire into.
+
+Detection is deliberately classical — the two standard sequential change
+detectors over a univariate series, plus two SLO rule shapes — because the
+monitoring loop's value is in being *deterministic and replayable*, not
+clever.  Every decision depends only on the step-indexed values a
+:class:`~repro.obs.series.MetricsSampler` produced, never on the wall
+clock, so the same workload yields the same alerts at the same steps on
+every run (``tests/test_obs_monitor.py`` pins that down with hypothesis).
+
+* :class:`EwmaDetector` — exponentially weighted moving average + variance;
+  fires when a sample's z-score against the EWMA leaves the control band.
+  Good for abrupt level shifts (drop-rate spikes).
+* :class:`CusumDetector` — one-sided CUSUM of standardized excursions; the
+  statistic accumulates persistent small shifts that no single sample
+  would flag.  Good for slow drift (expert-load skew creeping up), the
+  ROADMAP's re-tune trigger.
+* :class:`ThresholdRule` — plain SLO bound (latency p99 above X steps).
+* :class:`BurnRateRule` — windowed error-budget burn: the fraction of a
+  window's requests that violated the SLO, relative to the budgeted
+  fraction (deadline misses), in the Google SRE burn-rate idiom.
+
+All four share the same contract — ``update(step, value) -> Alert | None``
+— and hysteresis: once fired they stay *latched* (no duplicate alerts)
+until the signal re-arms below a fraction of the firing level, so a noisy
+crossing emits one alert, not fifty.  Warmup samples calibrate the
+detectors' baselines and can never fire.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Alert",
+    "AlertLog",
+    "BurnRateRule",
+    "CusumDetector",
+    "EwmaDetector",
+    "ThresholdRule",
+]
+
+#: severity order for exit codes and report rollups.
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One detector firing: what crossed which line, when, and how badly."""
+
+    step: int
+    severity: str
+    kind: str
+    source: str
+    value: float
+    threshold: float
+    message: str
+
+    def as_dict(self) -> dict:
+        """JSON-ready row (the alert-log export and CLI output)."""
+        return {
+            "step": self.step,
+            "severity": self.severity,
+            "kind": self.kind,
+            "source": self.source,
+            "value": round(self.value, 6),
+            "threshold": round(self.threshold, 6),
+            "message": self.message,
+        }
+
+
+class AlertLog:
+    """Append-only record of every alert a monitor's detectors fired."""
+
+    def __init__(self) -> None:
+        self.alerts: list[Alert] = []
+
+    def append(self, alert: Alert) -> None:
+        """Record one alert."""
+        self.alerts.append(alert)
+
+    def __len__(self) -> int:
+        return len(self.alerts)
+
+    def __iter__(self):
+        return iter(self.alerts)
+
+    def by_severity(self, severity: str) -> list[Alert]:
+        """Alerts of exactly the given severity, in firing order."""
+        return [a for a in self.alerts if a.severity == severity]
+
+    def max_severity(self) -> str | None:
+        """The worst severity fired so far (None while empty)."""
+        if not self.alerts:
+            return None
+        return max(self.alerts, key=lambda a: SEVERITIES.index(a.severity)).severity
+
+    def counts(self) -> dict[str, int]:
+        """``{severity: count}`` over every fired alert."""
+        out: dict[str, int] = {}
+        for alert in self.alerts:
+            out[alert.severity] = out.get(alert.severity, 0) + 1
+        return out
+
+    def as_dicts(self) -> list[dict]:
+        """Every alert as a JSON-ready row."""
+        return [a.as_dict() for a in self.alerts]
+
+
+class EwmaDetector:
+    """EWMA control chart: flags samples far from the running average.
+
+    Maintains an exponentially weighted mean and variance (smoothing
+    ``alpha``); after ``warmup`` calibration samples, a sample whose
+    z-score against the EWMA exceeds ``threshold`` fires a warning (and
+    ``2 * threshold`` a critical).  ``direction`` limits which side of the
+    band fires (``"above"`` — the default, load/drop metrics only go bad
+    upward — ``"below"``, or ``"both"``).  While latched, further
+    excursions are silent until the z-score falls under half the
+    threshold.
+    """
+
+    kind = "drift"
+
+    def __init__(
+        self,
+        *,
+        alpha: float = 0.2,
+        threshold: float = 4.0,
+        warmup: int = 16,
+        direction: str = "above",
+        min_std: float = 1e-3,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if direction not in ("above", "below", "both"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.alpha = alpha
+        self.threshold = threshold
+        self.warmup = warmup
+        self.direction = direction
+        self.min_std = min_std
+        self.mean: float | None = None
+        self.variance = 0.0
+        self.samples = 0
+        self.latched = False
+
+    def _excursion(self, value: float) -> float:
+        std = max(math.sqrt(self.variance), self.min_std)
+        z = (value - self.mean) / std
+        if self.direction == "above":
+            return z
+        if self.direction == "below":
+            return -z
+        return abs(z)
+
+    def update(self, step: int, value: float, *, source: str = "ewma") -> Alert | None:
+        """Feed one sample; returns the alert it fired, if any."""
+        value = float(value)
+        if self.mean is None:
+            self.mean = value
+            self.samples = 1
+            return None
+        excursion = self._excursion(value)
+        alert: Alert | None = None
+        self.samples += 1
+        if self.samples > self.warmup:
+            if self.latched and excursion < self.threshold / 2.0:
+                self.latched = False
+            elif not self.latched and excursion > self.threshold:
+                self.latched = True
+                severity = "critical" if excursion > 2.0 * self.threshold else "warning"
+                alert = Alert(
+                    step=step,
+                    severity=severity,
+                    kind=self.kind,
+                    source=source,
+                    value=value,
+                    threshold=self.threshold,
+                    message=(
+                        f"{source}: EWMA z-score {excursion:.2f} exceeds "
+                        f"{self.threshold:.2f} (value {value:.4f}, "
+                        f"baseline {self.mean:.4f})"
+                    ),
+                )
+        # Update the running stats *after* judging the sample, and freeze
+        # the baseline while latched so a sustained shift cannot absorb
+        # itself into the average and mask follow-on drift.
+        if not self.latched:
+            delta = value - self.mean
+            self.mean += self.alpha * delta
+            self.variance = (1.0 - self.alpha) * (
+                self.variance + self.alpha * delta * delta
+            )
+        return alert
+
+
+class CusumDetector:
+    """One-sided CUSUM over standardized excursions from a calibrated base.
+
+    The first ``warmup`` samples only calibrate a mean/std baseline.  After
+    that each sample's standardized excursion above the baseline, less the
+    slack ``k``, accumulates into the statistic ``S = max(0, S + z - k)``;
+    crossing ``h`` fires (warning at ``h``, critical at ``2h``).  Small
+    persistent shifts — the slow skew drift a z-score test never sees —
+    integrate up and cross eventually, with detection delay inversely
+    proportional to the shift size.  While latched the statistic keeps
+    integrating; a warning latch escalates (once) to a critical alert if
+    the drift persists past ``2h`` — the hand-off that wakes the re-tune
+    hook — and the latch re-arms only after draining below ``h / 2``.
+    """
+
+    kind = "drift"
+
+    def __init__(
+        self,
+        *,
+        k: float = 0.5,
+        h: float = 8.0,
+        warmup: int = 16,
+        min_std: float = 1e-3,
+    ):
+        if warmup < 2:
+            raise ValueError("warmup must be >= 2 (the baseline needs variance)")
+        self.k = k
+        self.h = h
+        self.warmup = warmup
+        self.min_std = min_std
+        self.statistic = 0.0
+        self.samples = 0
+        self.latched = False
+        self.latched_severity: str | None = None
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        self.mean = 0.0
+        self.std = min_std
+
+    def update(self, step: int, value: float, *, source: str = "cusum") -> Alert | None:
+        """Feed one sample; returns the alert it fired, if any."""
+        value = float(value)
+        self.samples += 1
+        if self.samples <= self.warmup:
+            self._sum += value
+            self._sum_sq += value * value
+            if self.samples == self.warmup:
+                self.mean = self._sum / self.warmup
+                variance = max(self._sum_sq / self.warmup - self.mean**2, 0.0)
+                self.std = max(math.sqrt(variance), self.min_std)
+            return None
+        z = (value - self.mean) / self.std
+        self.statistic = max(0.0, self.statistic + z - self.k)
+        if self.latched:
+            if self.statistic < self.h / 2.0:
+                self.latched = False
+                self.latched_severity = None
+                return None
+            if self.latched_severity == "warning" and self.statistic > 2.0 * self.h:
+                self.latched_severity = "critical"
+                return self._alert(step, value, "critical", source)
+            return None
+        if self.statistic <= self.h:
+            return None
+        self.latched = True
+        severity = "critical" if self.statistic > 2.0 * self.h else "warning"
+        self.latched_severity = severity
+        return self._alert(step, value, severity, source)
+
+    def _alert(self, step: int, value: float, severity: str, source: str) -> Alert:
+        return Alert(
+            step=step,
+            severity=severity,
+            kind=self.kind,
+            source=source,
+            value=value,
+            threshold=self.h,
+            message=(
+                f"{source}: CUSUM statistic {self.statistic:.2f} exceeds "
+                f"{self.h:.2f} (value {value:.4f}, baseline "
+                f"{self.mean:.4f}±{self.std:.4f})"
+            ),
+        )
+
+
+class ThresholdRule:
+    """Plain SLO bound: fire when the series crosses a fixed threshold.
+
+    ``direction="above"`` (default) fires on ``value > threshold``;
+    ``"below"`` on ``value < threshold``.  Latched until the value re-arms
+    past ``threshold * (1 ∓ margin)`` — the hysteresis band that keeps a
+    value oscillating around the bound from re-alerting every step.
+    """
+
+    kind = "slo"
+
+    def __init__(
+        self,
+        threshold: float,
+        *,
+        direction: str = "above",
+        severity: str = "warning",
+        margin: float = 0.1,
+    ):
+        if direction not in ("above", "below"):
+            raise ValueError(f"unknown direction {direction!r}")
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.threshold = float(threshold)
+        self.direction = direction
+        self.severity = severity
+        self.margin = margin
+        self.latched = False
+
+    def update(self, step: int, value: float, *, source: str = "slo") -> Alert | None:
+        """Feed one sample; returns the alert it fired, if any."""
+        value = float(value)
+        if self.direction == "above":
+            violated = value > self.threshold
+            rearmed = value <= self.threshold * (1.0 - self.margin)
+        else:
+            violated = value < self.threshold
+            rearmed = value >= self.threshold * (1.0 + self.margin)
+        if self.latched:
+            if rearmed:
+                self.latched = False
+            return None
+        if not violated:
+            return None
+        self.latched = True
+        return Alert(
+            step=step,
+            severity=self.severity,
+            kind=self.kind,
+            source=source,
+            value=value,
+            threshold=self.threshold,
+            message=(
+                f"{source}: value {value:.4f} {self.direction} SLO threshold "
+                f"{self.threshold:.4f}"
+            ),
+        )
+
+
+@dataclass
+class BurnRateRule:
+    """Windowed error-budget burn rate over an event/total series pair.
+
+    ``budget`` is the tolerated bad-event fraction (e.g. 5% of requests
+    may miss their deadline); each step feeds the window with that step's
+    bad-event and total-event deltas, and the rule fires when the window's
+    bad fraction exceeds ``factor x budget`` — burning the error budget
+    ``factor`` times faster than sustainable.  Fires only once at least
+    ``min_events`` totals are in the window, and latches until the burn
+    rate halves.
+    """
+
+    budget: float
+    factor: float = 2.0
+    window: int = 32
+    min_events: int = 8
+    severity: str = "critical"
+    _events: list = field(default_factory=list, repr=False)
+    latched: bool = False
+
+    kind = "slo"
+
+    def update_pair(
+        self, step: int, bad: float, total: float, *, source: str = "burn"
+    ) -> Alert | None:
+        """Feed one step's (bad events, total events); maybe fire."""
+        self._events.append((float(bad), float(total)))
+        if len(self._events) > self.window:
+            self._events.pop(0)
+        totals = sum(t for _, t in self._events)
+        if totals < self.min_events:
+            return None
+        rate = sum(b for b, _ in self._events) / totals
+        burn = rate / self.budget if self.budget > 0 else math.inf
+        if self.latched:
+            if burn < self.factor / 2.0:
+                self.latched = False
+            return None
+        if burn <= self.factor:
+            return None
+        self.latched = True
+        return Alert(
+            step=step,
+            severity=self.severity,
+            kind=self.kind,
+            source=source,
+            value=rate,
+            threshold=self.factor * self.budget,
+            message=(
+                f"{source}: window bad-event rate {rate:.1%} burns the "
+                f"{self.budget:.1%} budget at {burn:.1f}x"
+            ),
+        )

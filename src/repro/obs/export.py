@@ -9,7 +9,10 @@ Three ways out of a recording window:
   the main track (tid 0); **comm spans are duplicated onto one track per
   participating rank** (tid ``1 + global rank``), so the timeline shows
   which ranks each collective touched, with op, bytes, and per-tier byte
-  splits in the event ``args``.
+  splits in the event ``args``; **request spans** (the serving engine's
+  per-request lifecycle) get one track per request, and a
+  :class:`~repro.obs.monitor.Monitor`'s sampled series can ride along as
+  Perfetto counter tracks (``monitor=``).
 * :func:`metrics_json` / :func:`write_metrics_json` — the registry
   snapshot plus a schema tag, one JSON document.
 * :func:`summary_table` — an aligned text table attributing recorded
@@ -42,6 +45,10 @@ __all__ = [
 MAIN_TID = 0
 #: comm spans land on tid = COMM_TID_BASE + global rank.
 COMM_TID_BASE = 1
+#: request-category spans land on tid = REQUEST_TID_BASE + request index.
+REQUEST_TID_BASE = 10_000
+#: counter-track events from sampled series land on this tid.
+COUNTER_TID = 9_999
 
 
 def _json_safe(value):
@@ -75,13 +82,22 @@ def _event(span: Span, origin: float, tid: int) -> dict:
     }
 
 
-def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
+def chrome_trace(tracer: Tracer, *, process_name: str = "repro", monitor=None) -> dict:
     """The tracer's spans as a Chrome trace-event JSON document.
 
     Comm-category spans carrying a ``ranks`` attribute are emitted once
-    per participating rank on that rank's own track; every other span goes
-    on the main track.  Thread-name metadata events label the tracks, so
-    Perfetto shows "main" and "rank N comm" lanes.
+    per participating rank on that rank's own track; request-category
+    spans (the serving engine's per-request lifecycle spans) land on one
+    track per request id, so Perfetto shows each request's QUEUED →
+    PREFILL → DECODE window as its own lane beneath the step timeline;
+    every other span goes on the main track.  Thread-name metadata events
+    label the tracks.
+
+    Pass a :class:`~repro.obs.monitor.Monitor` as ``monitor`` to also
+    emit its sampled series as Chrome counter-track events (``"ph": "C"``)
+    — one counter lane per series, timestamped from the sampler's
+    wall-clock stamps (series samples without a stamp are skipped; the
+    stamps never affect the sampled values themselves).
     """
     origin = tracer.origin
     events: list[dict] = [
@@ -101,6 +117,7 @@ def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
         },
     ]
     comm_tids: set[int] = set()
+    request_tids: dict[str, int] = {}
     for span in sorted(tracer.spans, key=lambda s: s.start):
         ranks = span.attrs.get("ranks")
         if span.category == "comm" and ranks is not None:
@@ -108,6 +125,10 @@ def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
                 tid = COMM_TID_BASE + int(rank)
                 comm_tids.add(tid)
                 events.append(_event(span, origin, tid))
+        elif span.category == "request" and span.attrs.get("request") is not None:
+            request = str(span.attrs["request"])
+            tid = request_tids.setdefault(request, REQUEST_TID_BASE + len(request_tids))
+            events.append(_event(span, origin, tid))
         else:
             events.append(_event(span, origin, MAIN_TID))
     for tid in sorted(comm_tids):
@@ -120,13 +141,54 @@ def chrome_trace(tracer: Tracer, *, process_name: str = "repro") -> dict:
                 "args": {"name": f"rank {tid - COMM_TID_BASE} comm"},
             }
         )
+    for request, tid in request_tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"req {request}"},
+            }
+        )
+    if monitor is not None:
+        events.extend(_counter_events(monitor, origin))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(path, tracer: Tracer, *, process_name: str = "repro") -> Path:
+def _counter_events(monitor, origin: float) -> list[dict]:
+    """Counter-track events from a monitor's sampled series."""
+    walls = dict(monitor.sampler.walls)
+    events: list[dict] = []
+    for name, series in sorted(monitor.sampler.series.items()):
+        if all(v == 0.0 for v in series.values()):
+            continue
+        for step, value in series.points:
+            wall = walls.get(step)
+            if wall is None:
+                continue
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "ts": round((wall - origin) * 1e6, 3),
+                    "pid": 0,
+                    "tid": COUNTER_TID,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def write_chrome_trace(
+    path, tracer: Tracer, *, process_name: str = "repro", monitor=None
+) -> Path:
     """Serialize :func:`chrome_trace` to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(tracer, process_name=process_name)) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(tracer, process_name=process_name, monitor=monitor))
+        + "\n"
+    )
     return path
 
 

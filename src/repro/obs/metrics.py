@@ -14,7 +14,11 @@ Three instrument kinds, all label-aware:
 
 * :class:`Counter` — monotonically increasing float (``inc``);
 * :class:`Gauge` — last-written value (``set_value``);
-* :class:`Histogram` — running count/sum/min/max (``observe``).
+* :class:`Histogram` — running count/sum/min/max (``observe``), optionally
+  bucketed: pass ``buckets=`` (a sorted tuple of upper bounds, e.g. from
+  :func:`log_buckets`) and the histogram additionally keeps per-bucket
+  counts, making :meth:`Histogram.quantile` (interpolated p50/p99) readable
+  straight off the registry — the serving SLO tables consume exactly that.
 
 A *family* (what :meth:`MetricsRegistry.counter` returns) holds one child
 instrument per label-value tuple: ``reg.counter("comm_bytes", "op",
@@ -31,13 +35,41 @@ makes per-shard or per-run registries aggregable without shared state.
 
 from __future__ import annotations
 
+import bisect
+import math
+
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "log_buckets",
     "merge_snapshots",
 ]
+
+
+def log_buckets(lo: float, hi: float, *, per_decade: int = 24) -> tuple[float, ...]:
+    """Log-spaced histogram upper bounds covering ``[lo, hi]``.
+
+    ``per_decade`` bounds per factor of ten (ratio ``10 ** (1/per_decade)``
+    between consecutive bounds), starting at ``lo`` and continuing until a
+    bound reaches ``hi``.  The default 24/decade keeps adjacent bounds
+    within ~10% of each other, so interpolated quantiles stay well inside
+    the benchmark gate's tolerance of the exact percentiles.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi for log-spaced buckets")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    bounds: list[float] = []
+    exponent = math.log10(lo)
+    step = 1.0 / per_decade
+    while True:
+        bound = 10.0 ** exponent
+        bounds.append(round(bound, 9))
+        if bound >= hi:
+            return tuple(bounds)
+        exponent += step
 
 
 class Counter:
@@ -79,16 +111,36 @@ class Gauge:
 
 
 class Histogram:
-    """Running count / sum / min / max over observed samples."""
+    """Running count / sum / min / max — and, when bucketed, quantiles.
+
+    Without ``buckets`` this is the original cheap aggregate.  With
+    ``buckets`` (a sorted tuple of upper bounds; the implicit last bucket
+    is ``+inf``) each observation also increments a per-bucket count, and
+    :meth:`quantile` estimates any percentile by linear interpolation
+    within the bucket the target rank falls into, clamped to the observed
+    min/max.  Bucketed snapshots stay merge-compatible as long as both
+    sides share identical bounds.
+    """
 
     kind = "histogram"
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "buckets", "bucket_counts")
 
-    def __init__(self) -> None:
+    def __init__(self, buckets: tuple[float, ...] | None = None) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        if buckets is not None:
+            buckets = tuple(float(b) for b in buckets)
+            if list(buckets) != sorted(set(buckets)):
+                raise ValueError("buckets must be strictly increasing")
+            if not buckets:
+                raise ValueError("buckets must be non-empty when given")
+        self.buckets = buckets
+        #: one count per bound plus the +inf overflow bucket.
+        self.bucket_counts = (
+            [0] * (len(buckets) + 1) if buckets is not None else None
+        )
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -99,6 +151,8 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        if self.buckets is not None:
+            self.bucket_counts[bisect.bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:
@@ -107,13 +161,59 @@ class Histogram:
             return 0.0
         return self.total / self.count
 
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile estimate from the bucket counts.
+
+        ``q`` is a fraction in ``[0, 1]``.  Requires ``buckets``; returns
+        0.0 before any observation.  The estimate locates the bucket
+        holding rank ``q * (count - 1)`` and interpolates linearly between
+        the bucket's edges (tightened to the observed min/max), so exact
+        percentiles of the same samples agree to within one bucket width.
+        """
+        if self.buckets is None:
+            raise ValueError("quantile() needs a bucketed histogram")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * (self.count - 1) + 1.0
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            lower = self.buckets[i - 1] if i > 0 else 0.0
+            upper = self.buckets[i] if i < len(self.buckets) else self.max
+            lower = max(lower, self.min)
+            upper = min(upper, self.max)
+            if cumulative + bucket_count >= target:
+                fraction = (target - cumulative) / bucket_count
+                return min(max(lower + fraction * (upper - lower), self.min), self.max)
+            cumulative += bucket_count
+        return self.max  # pragma: no cover - ranks always land in a bucket
+
     def snapshot(self) -> dict:
-        """``{count, sum, min, max}`` (min/max omitted while empty)."""
+        """``{count, sum, min, max[, buckets]}`` (min/max omitted while empty)."""
         out = {"count": self.count, "sum": self.total}
         if self.count:
             out["min"] = self.min
             out["max"] = self.max
+        if self.buckets is not None:
+            out["buckets"] = dict(zip(_bucket_labels(self.buckets), self.bucket_counts))
         return out
+
+
+#: snapshot label strings per bucket-bound tuple — bounds are immutable and
+#: shared across a family's children, so the repr work happens once, not
+#: once per snapshot (the online sampler snapshots every step).
+_BUCKET_LABEL_CACHE: dict[tuple, tuple[str, ...]] = {}
+
+
+def _bucket_labels(buckets: tuple) -> tuple[str, ...]:
+    labels = _BUCKET_LABEL_CACHE.get(buckets)
+    if labels is None:
+        labels = tuple(repr(b) for b in buckets) + ("+inf",)
+        _BUCKET_LABEL_CACHE[buckets] = labels
+    return labels
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -122,13 +222,15 @@ _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
 class _Family:
     """One named metric: a child instrument per label-value tuple."""
 
-    __slots__ = ("name", "kind", "label_names", "_children")
+    __slots__ = ("name", "kind", "label_names", "_children", "_kwargs")
 
-    def __init__(self, name: str, kind: str, label_names: tuple):
+    def __init__(self, name: str, kind: str, label_names: tuple, kwargs: dict | None = None):
         self.name = name
         self.kind = kind
         self.label_names = label_names
         self._children: dict[tuple, object] = {}
+        #: instrument construction kwargs (histogram bucket bounds).
+        self._kwargs = dict(kwargs) if kwargs else {}
 
     def labels(self, **labels):
         """The child instrument for one label-value assignment."""
@@ -140,7 +242,7 @@ class _Family:
         key = tuple(str(labels[n]) for n in self.label_names)
         child = self._children.get(key)
         if child is None:
-            child = _KINDS[self.kind]()
+            child = _KINDS[self.kind](**self._kwargs)
             self._children[key] = child
         return child
 
@@ -164,6 +266,10 @@ class _Family:
     def observe(self, value: float) -> None:
         """Observe into the unlabeled histogram child."""
         self._solo().observe(value)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile of the unlabeled bucketed-histogram child."""
+        return self._solo().quantile(q)
 
     @property
     def value(self):
@@ -198,17 +304,24 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
 
-    def _family(self, name: str, kind: str, label_names: tuple) -> _Family:
+    def _family(
+        self, name: str, kind: str, label_names: tuple, kwargs: dict | None = None
+    ) -> _Family:
         label_names = tuple(label_names)
         family = self._families.get(name)
         if family is None:
-            family = _Family(name, kind, label_names)
+            family = _Family(name, kind, label_names, kwargs)
             self._families[name] = family
             return family
         if family.kind != kind or family.label_names != label_names:
             raise ValueError(
                 f"metric {name!r} already registered as {family.kind} with "
                 f"labels {family.label_names}"
+            )
+        if kwargs and kwargs != family._kwargs:
+            raise ValueError(
+                f"metric {name!r} already registered with options "
+                f"{family._kwargs}, got {kwargs}"
             )
         return family
 
@@ -220,9 +333,18 @@ class MetricsRegistry:
         """The gauge family called ``name`` (created on first use)."""
         return self._family(name, "gauge", label_names)
 
-    def histogram(self, name: str, *label_names: str) -> _Family:
-        """The histogram family called ``name`` (created on first use)."""
-        return self._family(name, "histogram", label_names)
+    def histogram(
+        self, name: str, *label_names: str, buckets: tuple[float, ...] | None = None
+    ) -> _Family:
+        """The histogram family called ``name`` (created on first use).
+
+        ``buckets`` opts the family's children into per-bucket counts and
+        :meth:`Histogram.quantile`; re-registering with *different* bounds
+        is an error, while omitting ``buckets`` on a later call returns the
+        existing family unchanged (readers need not know the bounds).
+        """
+        kwargs = {"buckets": tuple(float(b) for b in buckets)} if buckets else None
+        return self._family(name, "histogram", label_names, kwargs)
 
     def families(self) -> dict[str, _Family]:
         """Every registered family, by name."""
@@ -239,7 +361,8 @@ class MetricsRegistry:
 def merge_snapshots(left: dict, right: dict) -> dict:
     """Combine two :meth:`MetricsRegistry.snapshot` dicts.
 
-    Counters and histogram count/sum add; histogram min/max take the
+    Counters and histogram count/sum (and per-bucket counts, which must
+    share identical bounds) add; histogram min/max take the
     elementwise min/max; gauges are last-write-wins (the right operand is
     the newer reading).  Families present in only one snapshot pass
     through.  Merging two snapshots of disjoint shards equals one registry
@@ -272,6 +395,15 @@ def merge_snapshots(left: dict, right: dict) -> dict:
                 if merged["count"]:
                     merged["min"] = min(va.get("min", float("inf")), vb.get("min", float("inf")))
                     merged["max"] = max(va.get("max", float("-inf")), vb.get("max", float("-inf")))
+                ba, bb = va.get("buckets"), vb.get("buckets")
+                if (ba is None) != (bb is None) or (
+                    ba is not None and list(ba) != list(bb)
+                ):
+                    raise ValueError(
+                        f"cannot merge metric {name!r}: bucket bounds differ"
+                    )
+                if ba is not None:
+                    merged["buckets"] = {le: ba[le] + bb[le] for le in ba}
                 series[key] = merged
         out[name] = {"kind": a["kind"], "label_names": list(a["label_names"]), "series": series}
     return out

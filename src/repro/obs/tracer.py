@@ -145,6 +145,32 @@ class Tracer:
                 break
         self.spans.append(span)
 
+    def record_span(
+        self,
+        name: str,
+        category: str = "default",
+        *,
+        start: float,
+        end: float,
+        attrs: dict | None = None,
+        parent: Span | None = None,
+    ) -> Span:
+        """Record an externally-timed span without touching the open stack.
+
+        For regions whose lifetime does not nest in the current call tree —
+        a served request spans many engine steps, so its QUEUED→retire
+        window can only be stamped retroactively from wall-clock marks.
+        ``start``/``end`` are ``time.perf_counter()`` readings on the same
+        clock as live spans, so both kinds share one exported timeline.
+        """
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        recorded = Span(name, category, attrs if attrs is not None else {}, parent, self)
+        recorded.start = float(start)
+        recorded.end = float(end)
+        self.spans.append(recorded)
+        return recorded
+
     def current(self) -> Span | None:
         """The innermost open span, or ``None`` outside any span."""
         return self._stack[-1] if self._stack else None

@@ -46,6 +46,21 @@ def load_balance_entropy(load: np.ndarray) -> float:
     return entropy / float(np.log(load.size))
 
 
+def load_imbalance_of(load: np.ndarray) -> float:
+    """Max-over-mean of a per-expert load histogram (1.0 = perfectly even).
+
+    Shared by the cumulative :meth:`RoutingTelemetry.load_imbalance` view
+    and the online monitor's per-step load deltas
+    (:class:`~repro.obs.series.MetricsSampler`), so both read the same
+    definition of skew.  Degenerate histograms (no load) return 1.0.
+    """
+    load = np.asarray(load, dtype=np.float64)
+    mean = load.mean()
+    if mean <= 0:
+        return 1.0
+    return float(load.max() / mean)
+
+
 class RoutingTelemetry:
     """Accumulates per-step routing decisions (and optionally plans).
 
@@ -263,10 +278,7 @@ class RoutingTelemetry:
 
     def load_imbalance(self) -> float:
         """Max-over-mean per-expert load (1.0 = perfectly even)."""
-        mean = self.load.mean()
-        if mean <= 0:
-            return 1.0
-        return float(self.load.max() / mean)
+        return load_imbalance_of(self.load)
 
     def mean_aux_loss(self) -> float:
         """Mean per-step auxiliary (load-balance) loss."""

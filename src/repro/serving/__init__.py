@@ -18,6 +18,7 @@ and dispatcher kind.
 """
 
 from repro.serving.engine import (
+    STEP_BUCKETS,
     SchedulerDecision,
     ServeStepReport,
     ServingEngine,
@@ -50,6 +51,7 @@ from repro.serving.traffic import (
 )
 
 __all__ = [
+    "STEP_BUCKETS",
     "AdmissionPolicy",
     "ContinuousBatchScheduler",
     "FCFSAdmission",

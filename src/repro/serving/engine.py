@@ -37,8 +37,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs import tracer as obs
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, log_buckets
 from repro.runtime import StepRuntime, StepTrace
+
+#: bucket bounds for the step-denominated serving latency histograms —
+#: fine enough (24/decade) that registry quantiles track exact
+#: percentiles within ~10%, the resolution the benchmark asserts.
+STEP_BUCKETS = log_buckets(1.0, 4096.0, per_decade=24)
 from repro.serving.queue import RequestQueue
 from repro.serving.request import Request, RequestState, RequestStatus, TokenChunk
 from repro.serving.scheduler import AdmissionPolicy, ContinuousBatchScheduler
@@ -112,6 +117,11 @@ class ServingEngine:
         request outputs are batching-invariant.
     prefill_chunk:
         Prompt rows prefilled per step per request.
+    monitor:
+        Optional :class:`~repro.obs.monitor.Monitor`; when attached, the
+        engine calls ``observe_step`` once per step *after* streaming, so
+        monitoring reads the step's outcome and can never perturb it
+        (token streams are bit-identical with monitoring on or off).
     """
 
     def __init__(
@@ -125,6 +135,7 @@ class ServingEngine:
         prefill_chunk: int = 4,
         token_fn=default_token_id,
         next_hidden_fn=default_next_hidden,
+        monitor=None,
     ):
         if prefill_chunk < 1:
             raise ValueError("prefill_chunk must be >= 1")
@@ -138,6 +149,7 @@ class ServingEngine:
         self.queue = RequestQueue(max_pending=max_pending)
         self.scheduler = ContinuousBatchScheduler(self.num_slots, self.queue, admission)
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.monitor = monitor
         self.step_index = 0
         #: every non-trivial scheduling decision, for determinism checks.
         self.decision_log: list[SchedulerDecision] = []
@@ -150,9 +162,18 @@ class ServingEngine:
         self._deadline_missed = reg.counter("serving_deadline_missed").labels()
         self._tokens = reg.counter("serving_tokens_emitted").labels()
         self._drops = reg.counter("serving_request_drops", "kind")
-        self._queue_hist = reg.histogram("serving_queue_steps").labels()
-        self._ttft_hist = reg.histogram("serving_ttft_steps").labels()
-        self._latency_hist = reg.histogram("serving_latency_steps").labels()
+        #: why an SLO burned: dropped work (policy/capacity) or a blown
+        #: deadline — the cause labels the dashboard and alerts attribute.
+        self._slo_events = reg.counter("serving_slo_events", "cause")
+        self._queue_hist = reg.histogram(
+            "serving_queue_steps", buckets=STEP_BUCKETS
+        ).labels()
+        self._ttft_hist = reg.histogram(
+            "serving_ttft_steps", buckets=STEP_BUCKETS
+        ).labels()
+        self._latency_hist = reg.histogram(
+            "serving_latency_steps", buckets=STEP_BUCKETS
+        ).labels()
 
     # ------------------------------------------------------------------
     @property
@@ -173,6 +194,7 @@ class ServingEngine:
                 f"hidden size {self.hidden_size}"
             )
         state = self.queue.submit(request, step=self.step_index)
+        state.wall["submitted"] = time.perf_counter()
         self._submitted.inc()
         if state.status is RequestStatus.REJECTED:
             self._rejected.inc()
@@ -185,6 +207,7 @@ class ServingEngine:
             with obs.span("admit", "serving"):
                 admitted = self.scheduler.admit(step=self.step_index)
             for state in admitted:
+                state.wall["admitted"] = time.perf_counter()
                 self._admitted.inc()
                 self._queue_hist.observe(float(state.queue_steps or 0))
             running = self.scheduler.running
@@ -200,6 +223,8 @@ class ServingEngine:
                     occupancy=occupancy,
                 )
                 sp.set(idle=True)
+                if self.monitor is not None:
+                    self.monitor.observe_step(self.step_index, wall=time.perf_counter())
                 self.step_index += 1
                 return report
 
@@ -239,6 +264,8 @@ class ServingEngine:
                 trace=result.trace,
                 tokens_emitted=tokens_emitted,
             )
+        if self.monitor is not None:
+            self.monitor.observe_step(self.step_index, wall=time.perf_counter())
         self.step_index += 1
         return report
 
@@ -271,6 +298,7 @@ class ServingEngine:
                 if state.prompt_remaining == 0:
                     state.hidden = outputs[-1].copy()
                     state.status = RequestStatus.DECODE
+                    state.wall["prefill_done"] = now
                 continue
             vector = outputs[0].copy()
             chunk = TokenChunk(
@@ -303,15 +331,18 @@ class ServingEngine:
             state.capacity_drops += cap
             if pol:
                 self._drops.labels(kind="policy").inc(pol)
+                self._slo_events.labels(cause="policy").inc(pol)
             if cap:
                 self._drops.labels(kind="capacity").inc(cap)
+                self._slo_events.labels(cause="capacity").inc(cap)
             if telemetry is not None:
                 telemetry.attribute_drops(state.request_id, policy=pol, capacity=cap)
 
     def _retire_done(self, running) -> list[RequestState]:
         """Finish and unslot every request whose decode budget is spent."""
         retired = []
-        for _slot, state in running:
+        tracer = obs.get_tracer()
+        for slot, state in running:
             if state.status is not RequestStatus.DECODE or not state.done:
                 continue
             state.status = RequestStatus.COMPLETED
@@ -323,8 +354,64 @@ class ServingEngine:
             self._latency_hist.observe(float(state.latency_steps or 0))
             if state.deadline_missed:
                 self._deadline_missed.inc()
+                self._slo_events.labels(cause="deadline").inc()
+            if tracer is not None:
+                self._record_request_spans(tracer, state, slot)
             retired.append(state)
         return retired
+
+    def _record_request_spans(self, tracer, state: RequestState, slot: int) -> None:
+        """Stamp the retired request's lifecycle onto the tracer.
+
+        One ``request``-category span covers submit → finish (its own
+        Perfetto track, keyed by the ``request`` attribute), with
+        queued / prefill / decode phase sub-spans from the wall-clock
+        marks the engine left along the way.  Recording happens after the
+        request's last token is already streamed, so it cannot perturb
+        serving.
+        """
+        wall = state.wall
+        submitted = wall.get("submitted")
+        finished = wall.get("finished")
+        if submitted is None or finished is None:  # pragma: no cover - defensive
+            return
+        admitted = wall.get("admitted", submitted)
+        prefill_done = wall.get("prefill_done", admitted)
+        request_id = state.request_id
+        parent = tracer.record_span(
+            "request",
+            "request",
+            start=submitted,
+            end=finished,
+            attrs={
+                "request": request_id,
+                "slot": slot,
+                "tokens": state.tokens_emitted,
+                "policy_drops": state.policy_drops,
+                "capacity_drops": state.capacity_drops,
+                "deadline_missed": state.deadline_missed,
+                "submitted_step": state.submitted_step,
+                "admitted_step": state.admitted_step,
+                "first_token_step": state.first_token_step,
+                "finished_step": state.finished_step,
+                "queue_steps": state.queue_steps,
+                "ttft_steps": state.ttft_steps,
+                "latency_steps": state.latency_steps,
+            },
+        )
+        for name, start, end in (
+            ("queued", submitted, admitted),
+            ("prefill", admitted, prefill_done),
+            ("decode", prefill_done, finished),
+        ):
+            tracer.record_span(
+                name,
+                "request",
+                start=start,
+                end=end,
+                attrs={"request": request_id},
+                parent=parent,
+            )
 
 
 def make_serving_engine(
@@ -343,6 +430,7 @@ def make_serving_engine(
     max_pending: int | None = None,
     route_salt: int = 0,
     registry: MetricsRegistry | None = None,
+    monitor=None,
 ) -> ServingEngine:
     """Build a fully wired serving engine over the simulated cluster.
 
@@ -394,4 +482,5 @@ def make_serving_engine(
         registry=reg,
         route_salt=route_salt,
         prefill_chunk=prefill_chunk,
+        monitor=monitor,
     )

@@ -98,6 +98,13 @@ def synth_requests(
 
 
 def _percentile(values: list[int | float], q: float) -> float:
+    """Exact percentile of raw values — the tests' cross-check oracle.
+
+    The report itself reads p50/p99 off the registry's bucketed
+    histograms (:meth:`ServeReport.from_engine`); this exact computation
+    stays only so the test/benchmark suites can assert the bucketed
+    estimates agree within bucket resolution.
+    """
     if not values:
         return 0.0
     return float(np.percentile(np.asarray(values, dtype=np.float64), q))
@@ -142,12 +149,17 @@ class ServeReport:
     def from_engine(
         cls, engine: ServingEngine, *, steps: int, wall_seconds: float
     ) -> "ServeReport":
-        """Fold the engine's request ledger into one report."""
+        """Fold the engine's request ledger into one report.
+
+        The p50/p99 figures are read straight off the registry's bucketed
+        latency histograms (:meth:`~repro.obs.metrics.Histogram.quantile`)
+        — the same numbers any metrics consumer sees — rather than being
+        recomputed from the raw per-request lists; the serving benchmark
+        asserts the bucketed estimates agree with the exact percentiles
+        within bucket resolution.
+        """
         states = list(engine.states.values())
         finished = [s for s in states if s.status is RequestStatus.COMPLETED]
-        latencies = [s.latency_steps for s in finished]
-        ttfts = [s.ttft_steps for s in finished if s.ttft_steps is not None]
-        queues = [s.queue_steps for s in finished if s.queue_steps is not None]
         with_deadline = [
             s for s in finished if s.request.deadline_steps is not None
         ]
@@ -156,6 +168,10 @@ class ServeReport:
             if with_deadline
             else 0.0
         )
+        reg = engine.registry
+        latency = reg.histogram("serving_latency_steps")
+        ttft = reg.histogram("serving_ttft_steps")
+        queue = reg.histogram("serving_queue_steps")
         return cls(
             admission=engine.scheduler.admission.name,
             num_requests=len(states),
@@ -166,12 +182,12 @@ class ServeReport:
             steps=steps,
             wall_seconds=wall_seconds,
             tokens=sum(s.tokens_emitted for s in finished),
-            latency_p50=_percentile(latencies, 50),
-            latency_p99=_percentile(latencies, 99),
-            ttft_p50=_percentile(ttfts, 50),
-            ttft_p99=_percentile(ttfts, 99),
-            queue_p50=_percentile(queues, 50),
-            queue_p99=_percentile(queues, 99),
+            latency_p50=round(latency.quantile(0.50), 3),
+            latency_p99=round(latency.quantile(0.99), 3),
+            ttft_p50=round(ttft.quantile(0.50), 3),
+            ttft_p99=round(ttft.quantile(0.99), 3),
+            queue_p50=round(queue.quantile(0.50), 3),
+            queue_p99=round(queue.quantile(0.99), 3),
             deadline_miss_rate=miss_rate,
             policy_drops=sum(s.policy_drops for s in states),
             capacity_drops=sum(s.capacity_drops for s in states),

@@ -127,6 +127,77 @@ class TestCLI:
             out = capsys.readouterr().out
             assert admission in out
 
+    def test_monitor_command_healthy_exit_zero(self, capsys):
+        assert (
+            main(
+                ["monitor", "--requests", "12", "--slots", "4",
+                 "--seed", "5", "--latency-slo", "60"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "monitored 12 requests" in out
+        assert "serving monitor" in out
+        assert "health: HEALTHY" in out
+        assert "exit code 0 (healthy)" in out
+
+    def test_monitor_command_forced_skew_exit_reflects_severity(self, capsys):
+        rc = main(
+            ["monitor", "--requests", "48", "--slots", "4", "--seed", "5",
+             "--capacity-factor", "0.5", "--force-skew", "--retune"]
+        )
+        assert rc == 3
+        out = capsys.readouterr().out
+        assert "critical" in out
+        assert "load_imbalance" in out
+        assert "re-tune recommendation" in out
+        assert "differs from active plan" in out
+        assert "exit code 3 (critical)" in out
+
+    def test_monitor_command_exports(self, capsys, tmp_path):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        dashboard = tmp_path / "dashboard.md"
+        trace = tmp_path / "trace.json"
+        assert (
+            main(
+                ["monitor", "--requests", "10", "--slots", "4", "--seed", "5",
+                 "--metrics-out", str(metrics),
+                 "--dashboard-out", str(dashboard),
+                 "--trace-out", str(trace)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrote metrics snapshot" in out
+        assert "wrote dashboard" in out
+        assert "wrote Perfetto trace" in out
+        snapshot = json.loads(metrics.read_text())
+        assert "serving_latency_steps" in snapshot["metrics"]
+        assert dashboard.read_text().startswith("# serving monitor")
+        doc = json.loads(trace.read_text())
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert any(name.startswith("req ") for name in names), (
+            "no per-request tracks in the exported trace"
+        )
+        assert any(e["ph"] == "C" for e in doc["traceEvents"]), (
+            "no counter-track events in the exported trace"
+        )
+
+    def test_serve_command_with_monitor_prints_dashboard(self, capsys):
+        assert (
+            main(["serve", "--requests", "8", "--slots", "4", "--monitor"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "serving SLO" in out
+        assert "serving monitor" in out
+        assert "health:" in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])

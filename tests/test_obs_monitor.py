@@ -1,0 +1,531 @@
+"""Property and unit tests for the online monitor stack.
+
+Covers the four layers PR 9 added under ``repro.obs``:
+
+* bucketed histograms (``log_buckets`` / ``Histogram.quantile`` /
+  snapshot-merge round-trips) — quantile estimates must agree with exact
+  percentiles within one bucket's relative width, and merged snapshots
+  must behave like the union of observations;
+* the registry sampler (``MetricsSampler``) — counters diff into per-step
+  deltas, gauges sample, histograms produce windowed quantile series;
+* the detectors (``EwmaDetector`` / ``CusumDetector`` /
+  ``ThresholdRule`` / ``BurnRateRule``) — hypothesis drives synthetic
+  balanced and ramping series: detectors must fire under injected skew
+  ramps, must stay silent on stationary traffic, and must be
+  step-deterministic (same series → same alerts at the same steps);
+* the monitor rollup (``Monitor`` / ``HealthReport`` / re-tune hook
+  plumbing / dashboard rendering).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    AlertLog,
+    BurnRateRule,
+    CusumDetector,
+    EwmaDetector,
+    MetricsRegistry,
+    MetricsSampler,
+    Monitor,
+    ReTuneHook,
+    Series,
+    ThresholdRule,
+    log_buckets,
+    merge_snapshots,
+    render_dashboard,
+    sparkline,
+)
+from repro.obs.detect import Alert
+
+
+# ---------------------------------------------------------------------------
+# bucketed histograms
+# ---------------------------------------------------------------------------
+
+
+def test_log_buckets_shape():
+    bounds = log_buckets(1.0, 4096.0, per_decade=24)
+    assert bounds[0] == 1.0
+    assert bounds[-1] >= 4096.0
+    ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+    assert all(1.05 < r < 1.16 for r in ratios)
+
+
+def test_log_buckets_validation():
+    with pytest.raises(ValueError):
+        log_buckets(0.0, 10.0)
+    with pytest.raises(ValueError):
+        log_buckets(10.0, 1.0)
+    with pytest.raises(ValueError):
+        log_buckets(1.0, 10.0, per_decade=0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=1.0, max_value=4000.0, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    q=st.sampled_from([0.0, 0.25, 0.5, 0.9, 0.99, 1.0]),
+)
+def test_bucketed_quantile_within_bucket_resolution(values, q):
+    """The bucket estimate brackets the exact order statistics.
+
+    Exact percentiles interpolate between two adjacent order statistics;
+    a bucketed histogram cannot reconstruct positions *between* samples,
+    so the sound property is that the estimate lands within one bucket's
+    relative width (bounds are 10^(1/24) ~ 1.101 apart) of the order
+    statistics bracketing the requested rank.
+    """
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", buckets=log_buckets(1.0, 4096.0, per_decade=24))
+    for v in values:
+        hist.observe(v)
+    estimate = hist.quantile(q)
+    ordered = sorted(values)
+    rank = q * (len(ordered) - 1)
+    lo_stat = ordered[math.floor(rank)]
+    hi_stat = ordered[math.ceil(rank)]
+    assert lo_stat / 1.11 - 1e-9 <= estimate <= hi_stat * 1.11 + 1e-9
+    assert min(values) <= estimate <= max(values)
+
+
+def test_quantile_requires_buckets_and_handles_empty():
+    registry = MetricsRegistry()
+    plain = registry.histogram("plain")
+    with pytest.raises(ValueError):
+        plain.quantile(0.5)
+    bucketed = registry.histogram("b", buckets=log_buckets(1.0, 64.0))
+    assert bucketed.quantile(0.5) == 0.0
+    with pytest.raises(ValueError):
+        bucketed.quantile(1.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    left=st.lists(
+        st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    right=st.lists(
+        st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+)
+def test_merge_snapshots_bucketed_round_trip(left, right):
+    """Merging two bucketed snapshots equals observing the union."""
+    bounds = log_buckets(1.0, 512.0)
+
+    def _registry(values):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=bounds)
+        for v in values:
+            hist.observe(v)
+        return registry
+
+    merged = merge_snapshots(
+        _registry(left).snapshot(), _registry(right).snapshot()
+    )
+    merged_series = merged["lat"]["series"][""]
+    union_series = _registry(left + right).snapshot()["lat"]["series"][""]
+    # float sums accumulate in a different order across the two paths.
+    assert merged_series.pop("sum") == pytest.approx(union_series.pop("sum"))
+    assert merged_series == union_series
+
+
+def test_merge_snapshots_bucket_mismatch_errors():
+    a = MetricsRegistry()
+    a.histogram("lat", buckets=log_buckets(1.0, 64.0)).observe(2.0)
+    b = MetricsRegistry()
+    b.histogram("lat", buckets=log_buckets(1.0, 128.0)).observe(2.0)
+    with pytest.raises(ValueError, match="bucket bounds differ"):
+        merge_snapshots(a.snapshot(), b.snapshot())
+
+
+def test_histogram_kwargs_conflict_errors():
+    registry = MetricsRegistry()
+    registry.histogram("lat", buckets=log_buckets(1.0, 64.0))
+    # re-getting without kwargs is the common read path and must work...
+    registry.histogram("lat")
+    # ...but re-registering with different bounds is a bug.
+    with pytest.raises(ValueError):
+        registry.histogram("lat", buckets=log_buckets(1.0, 128.0))
+
+
+# ---------------------------------------------------------------------------
+# series + sampler
+# ---------------------------------------------------------------------------
+
+
+def test_series_ring_buffer_and_summary():
+    series = Series("s", maxlen=4)
+    assert series.last is None
+    for step in range(6):
+        series.append(step, float(step))
+    assert len(series) == 4
+    assert series.steps() == [2, 3, 4, 5]
+    assert series.values() == [2.0, 3.0, 4.0, 5.0]
+    assert series.window(2) == [4.0, 5.0]
+    assert series.window(0) == []
+    summary = series.summary()
+    assert summary["last"] == 5.0 and summary["min"] == 2.0
+    assert Series("empty").summary() == {"count": 0}
+
+
+def test_sampler_diffs_counters_and_samples_gauges():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+    gauge = registry.gauge("depth")
+    sampler = MetricsSampler(registry)
+    counter.inc(3)
+    gauge.set_value(7.0)
+    first = sampler.sample(0)
+    assert first["hits"] == 3.0 and first["depth"] == 7.0
+    counter.inc(2)
+    second = sampler.sample(1)
+    assert second["hits"] == 2.0  # delta, not cumulative
+    assert second["depth"] == 7.0  # gauges re-sample the level
+    assert sampler.get("hits").values() == [3.0, 2.0]
+
+
+def test_sampler_labeled_series_are_independent():
+    registry = MetricsRegistry()
+    drops = registry.counter("drops", "cause")
+    sampler = MetricsSampler(registry)
+    drops.labels(cause="policy").inc(2)
+    drops.labels(cause="capacity").inc(5)
+    appended = sampler.sample(0)
+    assert appended["drops{cause=policy}"] == 2.0
+    assert appended["drops{cause=capacity}"] == 5.0
+
+
+def test_sampler_histogram_windowed_quantiles():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=log_buckets(1.0, 256.0))
+    sampler = MetricsSampler(registry, quantile_window=2)
+    for step, batch in enumerate(([4.0, 4.0], [4.0], [100.0, 100.0, 100.0])):
+        for v in batch:
+            hist.observe(v)
+        appended = sampler.sample(step)
+    # window covers steps 1-2: one 4.0 and three 100.0 → p50 near 100.
+    assert appended["lat.count"] == 3.0
+    assert appended["lat.mean"] == pytest.approx(100.0)
+    assert appended["lat.p50"] > 50.0
+    # and the p99 estimate respects the observed max.
+    assert appended["lat.p99"] <= 100.0
+
+
+def test_sampler_maxlen_validation():
+    with pytest.raises(ValueError):
+        MetricsSampler(MetricsRegistry(), maxlen=1)
+
+
+# ---------------------------------------------------------------------------
+# detectors: hypothesis properties
+# ---------------------------------------------------------------------------
+
+
+def _balanced(rng, n, base=1.5, amplitude=0.25, jitter=0.2):
+    """Balanced traffic: bounded oscillation around a level, no trend.
+
+    Alternating ``±amplitude`` with bounded jitter keeps every
+    standardized excursion well inside the detectors' slack/threshold, so
+    "no alert on balanced traffic" is a guarantee, not a probability —
+    unbounded Gaussian noise would eventually produce a (correct!) false
+    alarm under any change detector.
+    """
+    signs = np.where(np.arange(n) % 2 == 0, 1.0, -1.0)
+    return base + amplitude * (signs + jitter * rng.uniform(-1.0, 1.0, size=n))
+
+
+def _ramp(rng, n_base, n_ramp, base=1.5, shift=1.0):
+    head = _balanced(rng, n_base, base)
+    tail = _balanced(rng, n_ramp, base + shift)
+    return np.concatenate([head, tail])
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_cusum_never_fires_on_balanced_traffic(seed):
+    rng = np.random.default_rng(seed)
+    detector = CusumDetector(warmup=16)
+    for step, value in enumerate(_balanced(rng, 200)):
+        assert detector.update(step, value) is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ewma_never_fires_on_balanced_traffic(seed):
+    rng = np.random.default_rng(seed)
+    detector = EwmaDetector(warmup=16)
+    for step, value in enumerate(_balanced(rng, 200)):
+        assert detector.update(step, value) is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), shift=st.floats(min_value=0.5, max_value=3.0))
+def test_cusum_fires_and_escalates_under_skew_ramp(seed, shift):
+    rng = np.random.default_rng(seed)
+    detector = CusumDetector(warmup=16)
+    alerts = []
+    for step, value in enumerate(_ramp(rng, 32, 120, shift=shift)):
+        alert = detector.update(step, value)
+        if alert is not None:
+            alerts.append(alert)
+    severities = [a.severity for a in alerts]
+    assert "warning" in severities or "critical" in severities
+    # a sustained ramp keeps integrating and must reach critical.
+    assert "critical" in severities
+    # alerts land strictly after the ramp begins.
+    assert all(a.step >= 32 for a in alerts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_ewma_fires_on_level_shift(seed):
+    rng = np.random.default_rng(seed)
+    detector = EwmaDetector(warmup=16)
+    alerts = []
+    for step, value in enumerate(_ramp(rng, 64, 32, shift=2.0)):
+        alert = detector.update(step, value)
+        if alert is not None:
+            alerts.append(alert)
+    assert alerts and alerts[0].step >= 64
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000), shift=st.floats(min_value=0.5, max_value=3.0))
+def test_detector_alerts_are_step_deterministic(seed, shift):
+    """Two identical replays produce identical alerts at identical steps."""
+    rng = np.random.default_rng(seed)
+    values = _ramp(rng, 32, 96, shift=shift)
+
+    def _replay():
+        detector = CusumDetector(warmup=16)
+        out = []
+        for step, value in enumerate(values):
+            alert = detector.update(step, value)
+            if alert is not None:
+                out.append((alert.step, alert.severity, round(alert.value, 12)))
+        return out
+
+    assert _replay() == _replay()
+
+
+def test_cusum_warmup_validation():
+    with pytest.raises(ValueError):
+        CusumDetector(warmup=1)
+
+
+def test_ewma_parameter_validation():
+    with pytest.raises(ValueError):
+        EwmaDetector(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaDetector(direction="sideways")
+
+
+def test_cusum_latch_rearms_after_drain():
+    detector = CusumDetector(warmup=4, h=2.0, k=0.0, min_std=1.0)
+    for step in range(4):
+        detector.update(step, 0.0)
+    # drive S up past h → warning fires once, then the latch holds.
+    assert detector.update(4, 1.5) is None  # S = 1.5
+    alert = detector.update(5, 1.5)  # S = 3.0 > h
+    assert alert is not None and alert.severity == "warning"
+    assert detector.update(6, 0.5) is None  # latched, S = 3.5
+    # drain below h/2 → re-armed; a fresh crossing fires again.
+    for step in range(7, 12):
+        detector.update(step, -1.0)
+    assert not detector.latched
+    assert detector.update(12, 2.5) is not None
+
+
+# ---------------------------------------------------------------------------
+# SLO rules
+# ---------------------------------------------------------------------------
+
+
+def test_threshold_rule_hysteresis():
+    rule = ThresholdRule(10.0, margin=0.2)
+    assert rule.update(0, 9.0) is None
+    alert = rule.update(1, 11.0)
+    assert alert is not None and alert.kind == "slo"
+    assert rule.update(2, 12.0) is None  # latched
+    assert rule.update(3, 9.5) is None  # inside the hysteresis band
+    assert rule.update(4, 7.0) is None  # re-arms (<= 8.0)
+    assert rule.update(5, 11.0) is not None
+
+
+def test_threshold_rule_below_direction():
+    rule = ThresholdRule(5.0, direction="below", severity="critical")
+    assert rule.update(0, 6.0) is None
+    alert = rule.update(1, 4.0)
+    assert alert is not None and alert.severity == "critical"
+
+
+def test_threshold_rule_validation():
+    with pytest.raises(ValueError):
+        ThresholdRule(1.0, direction="sideways")
+    with pytest.raises(ValueError):
+        ThresholdRule(1.0, severity="fatal")
+
+
+def test_burn_rate_rule_fires_on_budget_burn():
+    rule = BurnRateRule(budget=0.05, factor=2.0, window=8, min_events=4)
+    # below min_events: silent regardless of rate.
+    assert rule.update_pair(0, 1.0, 1.0) is None
+    alert = None
+    for step in range(1, 8):
+        alert = alert or rule.update_pair(step, 1.0, 2.0)
+    assert alert is not None and alert.severity == "critical"
+    assert alert.value > 2.0 * 0.05
+
+
+def test_burn_rate_rule_quiet_within_budget():
+    rule = BurnRateRule(budget=0.5, factor=2.0, window=8, min_events=4)
+    for step in range(20):
+        assert rule.update_pair(step, 0.0, 3.0) is None
+
+
+# ---------------------------------------------------------------------------
+# alert log + monitor + dashboard
+# ---------------------------------------------------------------------------
+
+
+def _alert(step, severity):
+    return Alert(
+        step=step, severity=severity, kind="drift", source="s",
+        value=1.0, threshold=2.0, message="m",
+    )
+
+
+def test_alert_log_rollups():
+    log = AlertLog()
+    assert log.max_severity() is None
+    log.append(_alert(1, "warning"))
+    log.append(_alert(2, "critical"))
+    log.append(_alert(3, "warning"))
+    assert len(log) == 3
+    assert log.max_severity() == "critical"
+    assert log.counts() == {"warning": 2, "critical": 1}
+    assert [a["step"] for a in log.as_dicts()] == [1, 2, 3]
+    assert len(log.by_severity("warning")) == 2
+
+
+def test_monitor_watch_fires_and_health_rolls_up():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("imbalance")
+    monitor = Monitor(registry)
+    monitor.watch("imbalance", ThresholdRule(2.0), source="imb")
+    gauge.set_value(1.0)
+    assert monitor.observe_step(0) == []
+    gauge.set_value(3.0)
+    fired = monitor.observe_step(1)
+    assert len(fired) == 1 and fired[0].source == "imb"
+    health = monitor.health()
+    assert health.status == "warning"
+    assert health.exit_code == 2
+    assert health.steps_observed == 2
+    assert "imbalance" in health.series_summaries
+    assert "WARNING" in health.describe()
+    assert health.as_dict()["alert_counts"] == {"warning": 1}
+
+
+def test_monitor_healthy_exit_code_zero():
+    registry = MetricsRegistry()
+    registry.counter("ticks").inc()
+    monitor = Monitor(registry)
+    monitor.observe_step(0)
+    health = monitor.health()
+    assert health.status == "healthy" and health.exit_code == 0
+
+
+class _ProposingHook(ReTuneHook):
+    def propose(self, alert):
+        from repro.obs import TuningRecommendation
+
+        return TuningRecommendation(
+            step=alert.step, alert=alert, plan="new-plan", differs=True,
+            reason=alert.message,
+        )
+
+
+def test_retune_hook_fires_on_critical_drift_with_cooldown():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("imbalance")
+    hook = _ProposingHook()
+    hook.cooldown_steps = 10
+    monitor = Monitor(registry, retune_hook=hook)
+    monitor.watch(
+        "imbalance",
+        ThresholdRule(2.0, severity="critical", margin=0.0),
+        source="imb",
+    )
+    # ThresholdRule is kind="slo" → the hook must NOT fire.
+    gauge.set_value(3.0)
+    monitor.observe_step(0)
+    assert monitor.recommendations == []
+
+    # a critical *drift* alert triggers a proposal; cooldown suppresses
+    # an immediate second one.
+    detector = CusumDetector(warmup=2, h=0.5, k=0.0, min_std=1.0)
+    monitor.watch("imbalance", detector, source="drift")
+    gauge.set_value(10.0)
+    monitor.observe_step(1)
+    monitor.observe_step(2)  # warmup complete, baseline ~10
+    gauge.set_value(50.0)
+    monitor.observe_step(3)  # S explodes → critical, hook proposes
+    assert len(monitor.recommendations) == 1
+    assert monitor.recommendations[0].plan == "new-plan"
+    assert hook.triggered
+
+
+def test_sparkline_and_dashboard_render():
+    assert sparkline([]) == ""
+    assert sparkline([1.0, 1.0]) == "▁▁"
+    line = sparkline(list(range(100)), width=8)
+    assert len(line) == 8 and line[-1] == "█"
+
+    registry = MetricsRegistry()
+    gauge = registry.gauge("serving_depth")
+    monitor = Monitor(registry)
+    monitor.watch("serving_depth", ThresholdRule(2.0), source="depth")
+    for step, value in enumerate((1.0, 3.0, 1.5)):
+        gauge.set_value(value)
+        monitor.observe_step(step)
+    text = render_dashboard(monitor)
+    assert "serving_depth" in text and "depth" in text
+    md = render_dashboard(monitor, markdown=True, prefixes=("serving_",))
+    assert md.startswith("# serving monitor")
+    assert "| serving_depth |" in md
+    # prefix filtering drops non-matching series from the table.
+    filtered = render_dashboard(monitor, prefixes=("other_",))
+    assert "serving_depth |" not in filtered
+
+
+def test_dashboard_no_alerts_message():
+    registry = MetricsRegistry()
+    registry.counter("serving_ticks").inc()
+    monitor = Monitor(registry)
+    monitor.observe_step(0)
+    assert "(no alerts fired)" in render_dashboard(monitor)
+    assert "(none fired)" in render_dashboard(monitor, markdown=True)
+
+
+def test_windowed_quantile_empty_window():
+    from repro.obs.series import _windowed_quantile
+
+    assert _windowed_quantile([1.0, 2.0], [0, 0, 0], 0.0, 0.0, 0.5) == 0.0
+
+
+def test_log_bucket_bounds_are_finite_and_increasing():
+    bounds = log_buckets(0.5, 1e6, per_decade=6)
+    assert all(map(math.isfinite, bounds))
+    assert all(a < b for a, b in zip(bounds, bounds[1:]))

@@ -115,3 +115,133 @@ def test_decision_log_reflects_continuous_admission():
         for decision in engine.decision_log
     )
     assert joined_mid_flight, "no request ever joined an in-flight batch"
+
+
+# ---------------------------------------------------------------------------
+# PR 9: online monitoring must not perturb the serve
+# ---------------------------------------------------------------------------
+
+
+def _monitored_serve(pattern, **engine_kwargs):
+    from repro.obs import default_serving_monitor
+
+    engine_kwargs.setdefault("num_slots", SLOTS)
+    engine_kwargs.setdefault("top_k", TOP_K)
+    engine_kwargs.setdefault("hidden_size", HIDDEN)
+    engine_kwargs.setdefault("seed", SEED)
+    engine_kwargs.setdefault("capacity_factor", 0.5)
+    engine = make_serving_engine(**engine_kwargs)
+    engine.monitor = default_serving_monitor(
+        engine.registry, telemetry=engine.runtime.telemetry
+    )
+    run_trace(engine, _requests(pattern))
+    return engine
+
+
+@pytest.mark.parametrize("pattern", ("poisson", "bursty"))
+def test_monitoring_does_not_perturb_the_serve(pattern):
+    """Token streams are bit-identical with monitoring on vs off."""
+    plain = _serve(pattern)
+    monitored = _monitored_serve(pattern)
+    # The monitor actually ran every step...
+    assert monitored.monitor.steps_observed == monitored.step_index
+    assert monitored.monitor.sampler.series
+    # ...and changed nothing observable about the serve.
+    _assert_identical_serves(plain, monitored)
+
+
+def _skewed_requests(engine, num_requests=48):
+    """Balanced head, expert-aligned prefill-heavy tail (the injected drift)."""
+    from repro.routing.policies import skewed_router_tokens
+    from repro.serving import Request
+
+    rng = np.random.default_rng(SEED + 100)
+    arrivals = poisson_arrivals(rng, num_requests, 1.0)
+    base = synth_requests(
+        rng, arrivals, HIDDEN, prompt_len=(2, 8), max_new_tokens=(2, 12)
+    )
+    weight = engine.runtime.policy.weight
+    cut = max(1, int(len(base) * 0.4))
+    out = list(base[:cut])
+    for request in base[cut:]:
+        rows = max(int(request.prompt.shape[0]), 12)
+        out.append(
+            Request(
+                request_id=request.request_id,
+                prompt=skewed_router_tokens(
+                    rng, rows, weight, skew=3.0, boost=8.0
+                ),
+                max_new_tokens=min(request.max_new_tokens, 2),
+                arrival=request.arrival,
+                deadline_steps=request.deadline_steps,
+            )
+        )
+    return out
+
+
+def _drifted_monitor(retune_hook=None):
+    from repro.obs import default_serving_monitor
+
+    engine = make_serving_engine(
+        num_slots=SLOTS,
+        top_k=TOP_K,
+        hidden_size=HIDDEN,
+        seed=SEED,
+        capacity_factor=0.5,
+    )
+    engine.monitor = default_serving_monitor(
+        engine.registry,
+        telemetry=engine.runtime.telemetry,
+        retune_hook=retune_hook,
+    )
+    run_trace(engine, _skewed_requests(engine))
+    return engine.monitor
+
+
+def test_forced_skew_fires_deterministic_drift_alert():
+    """Injected expert skew fires the CUSUM — at the same step every run."""
+    first = _drifted_monitor()
+    second = _drifted_monitor()
+    drift = [a for a in first.alerts if a.kind == "drift"]
+    assert drift, "forced skew fired no drift alert"
+    assert any(a.source == "load_imbalance" for a in drift)
+    assert first.alerts.as_dicts() == second.alerts.as_dicts()
+    assert "critical" in {a.severity for a in drift}, (
+        "sustained skew must escalate to critical"
+    )
+
+
+def test_retune_hook_recommends_a_different_plan_on_drift():
+    """The critical drift alert makes the tuner propose a non-active plan."""
+    from repro.config import ParallelConfig, frontier_system, paper_config
+    from repro.obs import TunerReTuneHook
+    from repro.tuner import SearchSpace
+
+    model = paper_config("small")
+    system = frontier_system(num_nodes=2)
+    space = SearchSpace(
+        system=system,
+        model=model,
+        tokens_per_step=64 * model.seq_length,
+        router_options=("softmax-topk",),
+        capacity_factors=(1.0, 1.25),
+    )
+    # A deliberately naive active plan: no expert parallelism, flat
+    # dispatch — exactly what a skew-drift re-tune should replace.
+    naive = ParallelConfig(
+        world_size=system.total_gpus, ep_size=1, dispatch="flat"
+    )
+    hook = TunerReTuneHook(model, system, naive, space=space)
+    monitor = _drifted_monitor(retune_hook=hook)
+    assert monitor.recommendations, "critical drift produced no re-tune"
+    recommendation = monitor.recommendations[0]
+    assert recommendation.differs, (
+        f"tuner proposed the active plan back: {recommendation.plan}"
+    )
+    assert recommendation.plan.ep_size > 1
+    assert hook.recommendations == monitor.recommendations
+    # deterministic: the same drift yields the same proposal.
+    again = _drifted_monitor(
+        retune_hook=TunerReTuneHook(model, system, naive, space=space)
+    )
+    assert again.recommendations[0].summary() == recommendation.summary()
