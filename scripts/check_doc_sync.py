@@ -14,6 +14,11 @@ Three invariants, all enforced in CI (and by ``tests/test_doc_sync.py``):
    ``src/repro/__main__.py`` must be documented in README.md (as
    ``repro <name>``), so a new subcommand cannot land undocumented.
 
+One advisory check **warns without failing**: references to
+``/root/related/...`` reading-list paths in the docs whose checkout is
+absent on this machine (the related-repos mirror is not part of the repo,
+so a missing path is an environment condition, not a doc bug).
+
 Run:  python scripts/check_doc_sync.py
 Exits non-zero with a per-problem message when out of sync.
 """
@@ -95,12 +100,37 @@ def check_cli_docs(errors: list[str]) -> None:
             )
 
 
+def related_path_warnings() -> list[str]:
+    """Warnings for ``/root/related/...`` doc references absent on disk.
+
+    The docs may cite files from the related-repos reading list for
+    architecture provenance.  That checkout is machine-local (never part
+    of this repo), so a dangling reference is worth flagging but must not
+    fail the check — these are returned separately from the errors list.
+    """
+    pattern = re.compile(r"/root/related/[\w./-]*\w")
+    warnings: list[str] = []
+    for name in ("README.md", "ROADMAP.md", "DESIGN.md", "PAPERS.md"):
+        path = REPO / name
+        if not path.exists():
+            continue
+        for reference in sorted(set(pattern.findall(path.read_text()))):
+            if not Path(reference).exists():
+                warnings.append(
+                    f"{name} references {reference}, which is absent on this "
+                    "machine (related-repos checkout not present) — advisory only"
+                )
+    return warnings
+
+
 def main() -> int:
     """Run every doc-sync check; return the number of problems found."""
     errors: list[str] = []
     check_experiment_index(errors)
     check_verify_command(errors)
     check_cli_docs(errors)
+    for warning in related_path_warnings():
+        print(f"doc-sync: warning: {warning}", file=sys.stderr)
     for problem in errors:
         print(f"doc-sync: {problem}", file=sys.stderr)
     if not errors:

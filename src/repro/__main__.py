@@ -8,6 +8,7 @@ Usage::
     python -m repro fig13       # SSMB memory saving vs TP degree
     python -m repro configs     # Table 3 model configurations
     python -m repro tune        # auto-tune a parallel plan for a cluster
+    python -m repro train       # tiny ZeRO-sharded training validation run
     python -m repro obs         # record a traced run; summarize / export it
     python -m repro serve       # continuous-batching serving over a trace
     python -m repro monitor     # serve a trace with online SLO/drift monitoring
@@ -137,6 +138,46 @@ def _cmd_tune(args) -> None:
         f"\nconsume the winner: dispatcher_for_config(group, {model.num_experts}, "
         f"plan) with plan.dispatch_kind={best.dispatch_kind!r}, and "
         f"policy_for_config(report.best_model_config(), plan)"
+    )
+
+
+def _cmd_train(args) -> None:
+    from repro.xmoe.trainer import run_zero_training_validation
+
+    result = run_zero_training_validation(
+        zero_stage=args.zero_stage,
+        dp_size=args.dp,
+        steps=args.steps,
+        bucket_bytes=args.bucket_kb << 10,
+        seed=args.seed,
+    )
+    print(
+        f"ZeRO-{int(result.stage)} training: dp={result.dp_size} "
+        f"steps={result.steps} buckets={args.bucket_kb} KiB"
+    )
+    print("loss: " + "  ".join(f"{loss:.5f}" for loss in result.losses))
+    print("\nper-rank model state (bytes)     measured    predicted")
+    for key in ("param", "grad", "optimizer"):
+        print(
+            f"  {key:<28} {result.measured_state_bytes[key]:>10,.0f} "
+            f"{result.predicted_state_bytes[key]:>12,.0f}"
+        )
+    predicted_total = sum(result.predicted_state_bytes.values())
+    print(
+        f"  rank-0 device peak           {result.device_peak_bytes:>10,} "
+        f"{predicted_total:>12,.0f}"
+    )
+    timeline = result.timeline
+    print(
+        f"\ngrad reduction: comm {timeline.comm_seconds * 1e6:.1f} us, "
+        f"exposed {timeline.exposed_seconds * 1e6:.1f} us, "
+        f"overlap {result.overlap_ratio:.0%}"
+    )
+    by_op = result.comm_stats.seconds_by_op()
+    print(
+        "collectives: "
+        + ", ".join(f"{op} {seconds * 1e6:.1f} us" for op, seconds in by_op.items())
+        + f" | {result.comm_stats.total_bytes / 2**20:.2f} MiB moved"
     )
 
 
@@ -441,6 +482,20 @@ def main(argv: list[str] | None = None) -> int:
         help="fold measured micro-benchmark constants from benchmarks/results/ in",
     )
     tune.set_defaults(fn=_cmd_tune)
+    train = sub.add_parser(
+        "train", help="tiny ZeRO-sharded training run; memory + overlap report"
+    )
+    train.add_argument(
+        "--zero-stage", type=int, choices=(0, 1, 2), default=2,
+        help="ZeRO stage: 0 = DP baseline, 1 = sharded optimizer, 2 = + sharded grads",
+    )
+    train.add_argument("--dp", type=int, default=4, help="data-parallel replicas")
+    train.add_argument("--steps", type=int, default=3, help="optimizer steps")
+    train.add_argument(
+        "--bucket-kb", type=int, default=32, help="gradient bucket size in KiB"
+    )
+    train.add_argument("--seed", type=int, default=0, help="model + data seed")
+    train.set_defaults(fn=_cmd_train)
     obs = sub.add_parser(
         "obs", help="record one traced routing run; summarize / export it"
     )

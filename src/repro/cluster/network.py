@@ -174,6 +174,26 @@ class NetworkModel:
         seconds = 2 * (p - 1) * lat + volume / bw
         return TransferEstimate(seconds, worst_tier, {worst_tier: float(volume)})
 
+    def reduce_scatter_time(self, nbytes: int, ranks: np.ndarray) -> TransferEstimate:
+        """Ring reduce-scatter estimate ((P-1)/P of the data over the worst tier).
+
+        Exactly the reduce half of :meth:`allreduce_time`: ``P-1`` pipelined
+        hops, each moving one ``nbytes / P`` chunk, so both the latency and
+        the volume terms are half of the full all-reduce.  This is the cost
+        ZeRO-2's bucketed gradient reduction pays per bucket.
+        """
+        ranks = np.asarray(ranks, dtype=np.int64)
+        p = ranks.size
+        if p <= 1:
+            return TransferEstimate(0.0, LinkTier.SELF, {})
+        tiers = self.topology.tier_matrix(ranks)
+        worst_tier = LinkTier(int(tiers.max()))
+        bw = self._bandwidth[worst_tier]
+        lat = self._latency[worst_tier]
+        volume = nbytes * (p - 1) / p
+        seconds = (p - 1) * lat + volume / bw
+        return TransferEstimate(seconds, worst_tier, {worst_tier: float(volume)})
+
     # ------------------------------------------------------------------
     def _sample_congestion_factor(self) -> float:
         """Sample a slowdown factor for a cross-rack collective."""

@@ -19,6 +19,7 @@ from repro.comm.cost_model import (
     uniform_alltoall_time,
     hierarchical_alltoall_time,
     hierarchical_dispatch_time,
+    overlap_schedule,
 )
 
 __all__ = [
@@ -30,4 +31,5 @@ __all__ = [
     "uniform_alltoall_time",
     "hierarchical_alltoall_time",
     "hierarchical_dispatch_time",
+    "overlap_schedule",
 ]

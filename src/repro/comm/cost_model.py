@@ -106,6 +106,39 @@ def hierarchical_alltoall_time(
     return inter_est, intra_est
 
 
+def overlap_schedule(
+    ready_seconds: list[float],
+    comm_seconds: list[float],
+) -> tuple[list[float], list[float]]:
+    """Schedule dependent collectives on a single serial comm channel.
+
+    Models ZeRO's bucket-level dependency tracking: collective ``i`` cannot
+    start before its data is ready (``ready_seconds[i]``, the point in the
+    backward pass where the bucket filled) nor before the previous
+    collective finished (one in-flight collective at a time, matching a
+    single communication stream).  Returns ``(starts, ends)`` on the
+    backward pass's clock; a step whose backward takes ``B`` seconds
+    finishes at ``max(B, ends[-1])``.
+
+    The schedule is the timeline both the overlapped and the naive paths of
+    ``benchmarks/test_zero_micro.py`` are priced on — the naive path simply
+    passes ``ready_seconds = [compute_seconds] * n`` (no overlap: every
+    reduction waits for the full backward).
+    """
+    if len(ready_seconds) != len(comm_seconds):
+        raise ValueError("ready_seconds and comm_seconds must have equal length")
+    starts: list[float] = []
+    ends: list[float] = []
+    free = 0.0
+    for ready, comm in zip(ready_seconds, comm_seconds):
+        start = max(float(ready), free)
+        end = start + float(comm)
+        starts.append(start)
+        ends.append(end)
+        free = end
+    return starts, ends
+
+
 def _zero_estimate() -> TransferEstimate:
     """A zero-cost transfer (nothing leaves the device)."""
     return TransferEstimate(seconds=0.0, bottleneck_tier=LinkTier.SELF, bytes_by_tier={})

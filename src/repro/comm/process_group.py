@@ -450,7 +450,7 @@ class ProcessGroup:
         total = np.stack(buffers, axis=0).sum(axis=0)
         slices = np.split(total, self.size, axis=0)
         nbytes = int(buffers[0].nbytes)
-        estimate = self.world.network.allreduce_time(nbytes, self._global)
+        estimate = self.world.network.reduce_scatter_time(nbytes, self._global)
         traffic = np.full((self.size, self.size), nbytes / max(1, self.size))
         np.fill_diagonal(traffic, 0.0)
         self._record(op_name, traffic, estimate)

@@ -1,0 +1,35 @@
+"""Executable ZeRO data parallelism over the simulated cluster.
+
+This package makes the memory model's ZeRO axis *real*: instead of only
+dividing analytic byte counts by the DP size, it shards the functional
+training stack itself —
+
+* :mod:`repro.dist.bucket` — stable flat f64 gradient buckets
+  (flatten/unflatten, padding, per-rank shard layout);
+* :mod:`repro.dist.zero` — :class:`ZeroGradReducer`, which packs gradients
+  via ``tensor.autograd`` backward hooks and reduce-scatters each bucket as
+  it fills, with overlap accounting on the costed timeline;
+* :mod:`repro.dist.sharded_optim` — :class:`ZeroOptimizer`, pairing the
+  reducer with per-rank :class:`~repro.tensor.optim.ShardedAdam` partitions
+  and allgathering updated parameter shards.
+
+Training through :class:`ZeroOptimizer` at any stage is bit-identical to
+the unsharded data-parallel baseline, and per-rank model-state bytes match
+:func:`repro.xmoe.memory_model.zero_divisors` exactly — the property tests
+in ``tests/test_dist_zero.py`` pin both down.
+"""
+
+from repro.dist.bucket import DEFAULT_BUCKET_BYTES, BucketSlot, BucketStore, GradBucket
+from repro.dist.sharded_optim import ZeroOptimizer
+from repro.dist.zero import BucketFlush, ReduceTimeline, ZeroGradReducer
+
+__all__ = [
+    "DEFAULT_BUCKET_BYTES",
+    "BucketSlot",
+    "BucketStore",
+    "GradBucket",
+    "BucketFlush",
+    "ReduceTimeline",
+    "ZeroGradReducer",
+    "ZeroOptimizer",
+]

@@ -1,0 +1,168 @@
+"""Flat gradient buckets for ZeRO's bucketed reduce-scatter.
+
+Parameters are packed — in registration order, which every data-parallel
+rank shares — into fixed-size flat float64 buckets, the ColossalAI
+``low_level`` ZeRO bookkeeping pattern (``gradient_store``/``bucket_store``):
+each parameter owns one contiguous slot inside exactly one bucket, buckets
+are padded up to a multiple of the group size so a ``reduce_scatter`` can
+split them evenly, and rank ``r``'s shard of a bucket is the ``r``-th of
+those equal slices.  The stable slot layout is what makes flatten/unflatten
+loss-free and lets every rank agree on which elements it owns without any
+extra communication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Default bucket capacity: 256 KiB of f64 gradients (32k elements) — small
+#: enough that several buckets fill during one backward (overlap), large
+#: enough to amortize per-collective latency.
+DEFAULT_BUCKET_BYTES = 256 << 10
+
+_F64_BYTES = 8
+
+
+@dataclass(frozen=True)
+class BucketSlot:
+    """Where one parameter's gradient lives inside its bucket."""
+
+    #: index into the reducer's (registration-ordered) parameter list.
+    param_index: int
+    #: element offset of this parameter's first value in the flat bucket.
+    offset: int
+    #: number of f64 elements the parameter occupies.
+    numel: int
+
+
+class GradBucket:
+    """One fixed-size flat bucket holding a run of parameter gradients."""
+
+    def __init__(self, bucket_id: int, slots: list[BucketSlot], group_size: int):
+        if not slots:
+            raise ValueError("a bucket must hold at least one parameter")
+        self.bucket_id = bucket_id
+        self.slots = tuple(slots)
+        #: live gradient elements (excluding padding).
+        self.numel = sum(s.numel for s in self.slots)
+        #: elements after padding to a multiple of the group size, so the
+        #: flat buffer's first dimension splits evenly in reduce_scatter.
+        self.padded_numel = -(-self.numel // group_size) * group_size
+        #: elements of the per-rank shard of this bucket.
+        self.shard_numel = self.padded_numel // group_size
+
+    @property
+    def padded_nbytes(self) -> int:
+        """Bytes of the flat f64 buffer backing this bucket."""
+        return self.padded_numel * _F64_BYTES
+
+    def flat_buffer(self) -> np.ndarray:
+        """A zeroed flat f64 buffer sized for this bucket (with padding)."""
+        return np.zeros(self.padded_numel, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GradBucket(id={self.bucket_id}, params={len(self.slots)}, "
+            f"numel={self.numel}, padded={self.padded_numel})"
+        )
+
+
+class BucketStore:
+    """Partition a parameter list into stable fixed-size flat buckets.
+
+    Packing is greedy in registration order: a parameter joins the current
+    bucket unless that would exceed ``bucket_bytes``, in which case the
+    bucket is sealed and a new one starts.  A parameter larger than
+    ``bucket_bytes`` gets a bucket of its own rather than being split —
+    slots never straddle bucket boundaries.
+    """
+
+    def __init__(
+        self,
+        shapes: list[tuple[int, ...]],
+        group_size: int,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+    ):
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if bucket_bytes < 1:
+            raise ValueError("bucket_bytes must be >= 1")
+        if not shapes:
+            raise ValueError("cannot bucket an empty parameter list")
+        self.group_size = group_size
+        self.bucket_bytes = int(bucket_bytes)
+        max_elems = max(1, self.bucket_bytes // _F64_BYTES)
+
+        self.buckets: list[GradBucket] = []
+        #: per parameter index: ``(bucket_index, BucketSlot)``.
+        self.slot_of: list[tuple[int, BucketSlot]] = []
+        self.shapes = [tuple(int(d) for d in s) for s in shapes]
+
+        pending: list[BucketSlot] = []
+        offset = 0
+        for index, shape in enumerate(self.shapes):
+            numel = int(np.prod(shape)) if shape else 1
+            if pending and offset + numel > max_elems:
+                self.buckets.append(GradBucket(len(self.buckets), pending, group_size))
+                pending, offset = [], 0
+            slot = BucketSlot(param_index=index, offset=offset, numel=numel)
+            pending.append(slot)
+            self.slot_of.append((len(self.buckets), slot))
+            offset += numel
+        self.buckets.append(GradBucket(len(self.buckets), pending, group_size))
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets the parameters were packed into."""
+        return len(self.buckets)
+
+    @property
+    def numel_total(self) -> int:
+        """Total live gradient elements across all buckets."""
+        return sum(b.numel for b in self.buckets)
+
+    @property
+    def padded_numel_total(self) -> int:
+        """Total flat-buffer elements including per-bucket padding."""
+        return sum(b.padded_numel for b in self.buckets)
+
+    @property
+    def max_bucket_nbytes(self) -> int:
+        """Bytes of the largest flat bucket (the transient fill buffer bound)."""
+        return max(b.padded_nbytes for b in self.buckets)
+
+    def write(self, buffers: list[np.ndarray], param_index: int, grad: np.ndarray) -> int:
+        """Copy one parameter's gradient into its flat slot.
+
+        ``buffers`` is the per-bucket flat buffer list of one rank.
+        Returns the bucket index written to.
+        """
+        bucket_index, slot = self.slot_of[param_index]
+        flat = np.asarray(grad, dtype=np.float64).reshape(-1)
+        if flat.size != slot.numel:
+            raise ValueError(
+                f"param {param_index}: gradient has {flat.size} elements, "
+                f"slot holds {slot.numel}"
+            )
+        buffers[bucket_index][slot.offset : slot.offset + slot.numel] = flat
+        return bucket_index
+
+    def unflatten(self, bucket_index: int, flat: np.ndarray) -> list[tuple[int, np.ndarray]]:
+        """Slice one bucket's flat buffer back into per-parameter arrays.
+
+        Returns ``(param_index, array)`` pairs with each array reshaped to
+        the parameter's original shape (padding is dropped).
+        """
+        bucket = self.buckets[bucket_index]
+        if flat.size != bucket.padded_numel:
+            raise ValueError(
+                f"bucket {bucket_index}: flat buffer has {flat.size} elements, "
+                f"expected {bucket.padded_numel}"
+            )
+        out = []
+        for slot in bucket.slots:
+            piece = flat[slot.offset : slot.offset + slot.numel]
+            out.append((slot.param_index, piece.reshape(self.shapes[slot.param_index])))
+        return out

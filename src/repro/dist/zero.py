@@ -1,0 +1,337 @@
+"""ZeRO gradient reduction: hook-driven, bucketed, overlap-accounted.
+
+:class:`ZeroGradReducer` registers per-parameter gradient hooks on every
+data-parallel replica's ``tensor.autograd`` parameters.  As backward runs,
+each finalized gradient is packed into its flat f64 bucket
+(:mod:`repro.dist.bucket`); the moment a bucket is full on every rank, the
+reducer issues the collective through :class:`~repro.comm.ProcessGroup`
+*from inside the backward pass* — ``reduce_scatter`` at ZeRO-2 (each rank
+keeps only its shard), ``allreduce`` at stages 0/1 (gradients stay full,
+only optimizer state is later sharded).
+
+Because the simulator executes every rank's backward in one Python process,
+"inside backward" concretely means inside the last replica's backward hook
+— the point where the bucket's data first exists on all ranks.  The
+overlap itself lives on the *costed* timeline: each flush records how far
+through backward it became ready (its fill fraction) and what the network
+model charged for it, and :meth:`ZeroGradReducer.timeline` schedules those
+flushes on a single serial comm channel via
+:func:`repro.comm.cost_model.overlap_schedule`, yielding the exposed comm
+time and a measurable overlap ratio that the ``zero_micro`` benchmark and
+the tuner's calibration consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.cost_model import overlap_schedule
+from repro.comm.process_group import ProcessGroup
+from repro.config.parallel_config import ZeroStage
+from repro.dist.bucket import DEFAULT_BUCKET_BYTES, BucketStore
+from repro.obs import tracer as obs
+from repro.tensor.autograd import GradHookHandle, Tensor
+
+
+@dataclass(frozen=True)
+class BucketFlush:
+    """Record of one bucket's reduction during (or right after) backward."""
+
+    bucket_id: int
+    #: fraction of all live gradient elements already produced by backward
+    #: when this bucket became ready — its earliest possible start time.
+    fill_fraction: float
+    #: bytes the collective moved (from the recorded :class:`CommEvent`).
+    nbytes: float
+    #: modeled seconds the network charged for the collective.
+    comm_seconds: float
+    #: True when the reduction fired from a gradient hook; False when it was
+    #: issued by :meth:`ZeroGradReducer.flush` after backward (stragglers —
+    #: e.g. buckets holding experts no token routed to this step).
+    during_backward: bool
+
+
+@dataclass(frozen=True)
+class ReduceTimeline:
+    """Costed-timeline verdict for one backward's bucket reductions."""
+
+    backward_seconds: float
+    #: per-flush collective start/end times on the step clock.
+    starts: tuple[float, ...]
+    ends: tuple[float, ...]
+    #: summed modeled collective seconds.
+    comm_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Step time: backward plus whatever comm ran past its end."""
+        last_end = self.ends[-1] if self.ends else 0.0
+        return max(self.backward_seconds, last_end)
+
+    @property
+    def exposed_seconds(self) -> float:
+        """Comm time not hidden under backward compute."""
+        return self.total_seconds - self.backward_seconds
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of collective time hidden under backward (0..1)."""
+        if self.comm_seconds <= 0.0:
+            return 1.0
+        return 1.0 - self.exposed_seconds / self.comm_seconds
+
+
+class ZeroGradReducer:
+    """Bucketed gradient reducer over a simulated data-parallel group.
+
+    Parameters
+    ----------
+    replica_params:
+        ``replica_params[r]`` is rank ``r``'s parameter list; all replicas
+        must declare identical shapes in identical order (the shared
+        registration order that makes bucket layouts agree rank-to-rank).
+    group:
+        The data-parallel :class:`~repro.comm.ProcessGroup`; replica index
+        ``r`` is group-local rank ``r``.
+    stage:
+        ZeRO stage.  Stages 0/1 keep full gradients (bucketed
+        ``allreduce``); stage 2 shards them (bucketed ``reduce_scatter``).
+        Stage 3 (parameter sharding) is not implemented.
+    bucket_bytes:
+        Flat-bucket capacity; 1 byte degenerates to one bucket per
+        parameter — the naive baseline the micro-benchmark prices against.
+    average:
+        Divide reduced gradients by the group size (data-parallel mean).
+        The division happens *after* the sum so results stay bit-identical
+        to ``np.stack(grads).sum(axis=0) / R`` — the unsharded oracle.
+    charge_memory:
+        Charge each rank's persistent gradient state ("zero.grad_state") to
+        its :class:`~repro.cluster.device.SimDevice`: full padded buckets
+        at stages 0/1, only the local shards at stage 2.
+    """
+
+    def __init__(
+        self,
+        replica_params: list[list[Tensor]],
+        group: ProcessGroup,
+        *,
+        stage: ZeroStage = ZeroStage.GRADIENTS,
+        bucket_bytes: int = DEFAULT_BUCKET_BYTES,
+        average: bool = True,
+        charge_memory: bool = True,
+    ):
+        stage = ZeroStage(stage)
+        if stage >= ZeroStage.PARAMS:
+            raise ValueError("ZeRO-3 (parameter sharding) is not implemented")
+        if len(replica_params) != group.size:
+            raise ValueError(
+                f"got {len(replica_params)} replicas for a group of {group.size}"
+            )
+        shapes = [tuple(p.shape) for p in replica_params[0]]
+        for r, params in enumerate(replica_params):
+            if [tuple(p.shape) for p in params] != shapes:
+                raise ValueError(f"replica {r} declares different parameter shapes")
+            for p in params:
+                if not p.requires_grad:
+                    raise ValueError("all reduced parameters must require grad")
+        self.group = group
+        self.stage = stage
+        self.average = average
+        self.store = BucketStore(shapes, group.size, bucket_bytes)
+        self._replica_params = [list(params) for params in replica_params]
+
+        size = group.size
+        self._buffers = [
+            [b.flat_buffer() for b in self.store.buckets] for _ in range(size)
+        ]
+        self._shards = (
+            [
+                [np.zeros(b.shard_numel) for b in self.store.buckets]
+                for _ in range(size)
+            ]
+            if stage >= ZeroStage.GRADIENTS
+            else None
+        )
+        self._filled = [[0] * self.store.num_buckets for _ in range(size)]
+        self._ranks_full = [0] * self.store.num_buckets
+        self._reduced = [False] * self.store.num_buckets
+        self._elems_seen = [0] * size
+        self.flushes: list[BucketFlush] = []
+
+        self._handles: list[GradHookHandle] = []
+        for r, params in enumerate(self._replica_params):
+            for i, p in enumerate(params):
+                self._handles.append(p.register_grad_hook(self._make_hook(r, i)))
+
+        if charge_memory:
+            for r in range(size):
+                device = group.world.devices[group.ranks[r]]
+                device.alloc("zero.grad_state", self.grad_state_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def grad_state_bytes(self) -> int:
+        """Persistent per-rank gradient bytes at this stage (f64)."""
+        if self.stage >= ZeroStage.GRADIENTS:
+            return sum(b.shard_numel * 8 for b in self.store.buckets)
+        return self.store.padded_numel_total * 8
+
+    def _make_hook(self, rank: int, param_index: int):
+        """A gradient hook binding one (rank, parameter) pair to its slot."""
+
+        def hook(grad: np.ndarray) -> None:
+            """Pack this parameter's finalized gradient into its bucket."""
+            self.ingest(rank, param_index, grad)
+
+        return hook
+
+    def ingest(self, rank: int, param_index: int, grad: np.ndarray) -> None:
+        """Record one parameter's gradient; reduce its bucket if now full.
+
+        This is the hook target, exposed directly so drivers without a real
+        backward pass (the micro-benchmark) can feed gradients in backward
+        order themselves.
+        """
+        bucket_index, slot = self.store.slot_of[param_index]
+        if self._reduced[bucket_index]:
+            raise RuntimeError(
+                f"bucket {bucket_index} was already reduced this step — "
+                "call begin_step() before the next backward"
+            )
+        self.store.write(self._buffers[rank], param_index, grad)
+        self._elems_seen[rank] += slot.numel
+        self._filled[rank][bucket_index] += 1
+        bucket = self.store.buckets[bucket_index]
+        if self._filled[rank][bucket_index] == len(bucket.slots):
+            self._ranks_full[bucket_index] += 1
+            if self._ranks_full[bucket_index] == self.group.size:
+                self._reduce_bucket(bucket_index, during_backward=True)
+
+    def _reduce_bucket(self, bucket_index: int, *, during_backward: bool) -> None:
+        """Issue the collective for one filled bucket and record its cost."""
+        bucket = self.store.buckets[bucket_index]
+        size = self.group.size
+        # The slowest rank gates readiness.  In the real parallel execution
+        # every replica runs backward simultaneously, so the bucket is ready
+        # when the *least-progressed* rank has produced its slots; in this
+        # sequential simulation that is exactly the rank whose ingest
+        # triggered the reduce (earlier replicas have already finished).
+        fill_fraction = min(self._elems_seen) / self.store.numel_total
+        sends = [self._buffers[r][bucket_index] for r in range(size)]
+        with obs.span(
+            "zero.bucket_reduce",
+            "zero",
+            bucket=bucket_index,
+            params=len(bucket.slots),
+            nbytes=bucket.padded_nbytes,
+            fill_fraction=fill_fraction,
+            stage=int(self.stage),
+        ):
+            if self.stage >= ZeroStage.GRADIENTS:
+                shards = self.group.reduce_scatter(sends)
+                for r in range(size):
+                    reduced = shards[r] if not self.average else shards[r] / size
+                    self._shards[r][bucket_index][:] = reduced
+            else:
+                full = self.group.allreduce(sends)
+                for r in range(size):
+                    reduced = full[r] if not self.average else full[r] / size
+                    self._buffers[r][bucket_index][:] = reduced
+        event = self.group.world.stats.events[-1]
+        self._reduced[bucket_index] = True
+        self.flushes.append(
+            BucketFlush(
+                bucket_id=bucket_index,
+                fill_fraction=fill_fraction,
+                nbytes=event.total_bytes,
+                comm_seconds=event.seconds,
+                during_backward=during_backward,
+            )
+        )
+        registry = self.group.world.stats.metrics
+        if registry is not None:
+            stage = str(int(self.stage))
+            registry.counter("zero_bucket_reduces", "stage").labels(stage=stage).inc()
+            registry.counter("zero_grad_bytes", "stage").labels(stage=stage).inc(
+                event.total_bytes
+            )
+
+    def flush(self) -> None:
+        """Reduce every straggler bucket after backward completes.
+
+        Parameters that produced no gradient this step (experts no token
+        was routed to) leave zeros in their slots — the zero-fill DDP
+        semantics — so their buckets still reduce and the optimizer applies
+        a zero-gradient update, keeping all ranks bit-identical.
+        """
+        for bucket_index in range(self.store.num_buckets):
+            if not self._reduced[bucket_index]:
+                self._reduce_bucket(bucket_index, during_backward=False)
+
+    def begin_step(self) -> None:
+        """Reset fill state for the next backward (buffers re-zeroed)."""
+        size = self.group.size
+        for r in range(size):
+            for buf in self._buffers[r]:
+                buf.fill(0.0)
+        self._filled = [[0] * self.store.num_buckets for _ in range(size)]
+        self._ranks_full = [0] * self.store.num_buckets
+        self._reduced = [False] * self.store.num_buckets
+        self._elems_seen = [0] * size
+        self.flushes = []
+
+    def detach(self) -> None:
+        """Remove every registered gradient hook."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles = []
+
+    # ------------------------------------------------------------------
+    def grad_shards(self, rank: int) -> list[np.ndarray]:
+        """The reduced gradient partition rank ``rank`` owns, per bucket.
+
+        Stage 2 returns the rank's reduce-scattered shards; stages 0/1
+        return the rank's slice of (stage 1) or the entire (stage 0) full
+        reduced buffer.  Call after :meth:`flush`.
+        """
+        if not all(self._reduced):
+            raise RuntimeError("gradients not reduced yet — call flush() first")
+        if self.stage >= ZeroStage.GRADIENTS:
+            return list(self._shards[rank])
+        if self.stage >= ZeroStage.OPTIMIZER:
+            return [
+                self._buffers[rank][b.bucket_id][
+                    rank * b.shard_numel : (rank + 1) * b.shard_numel
+                ]
+                for b in self.store.buckets
+            ]
+        return list(self._buffers[rank])
+
+    def timeline(
+        self, backward_seconds: float, *, overlap: bool = True
+    ) -> ReduceTimeline:
+        """Price this step's flushes on the costed timeline.
+
+        With ``overlap=True`` each collective may start as soon as its
+        bucket filled (``fill_fraction * backward_seconds`` into the step);
+        with ``overlap=False`` every collective waits for the full backward
+        — the naive schedule.  Flushes issued by :meth:`flush` are only
+        ready once backward ends in either mode.
+        """
+        backward_seconds = float(backward_seconds)
+        ready = [
+            f.fill_fraction * backward_seconds
+            if (overlap and f.during_backward)
+            else backward_seconds
+            for f in self.flushes
+        ]
+        comm = [f.comm_seconds for f in self.flushes]
+        starts, ends = overlap_schedule(ready, comm)
+        return ReduceTimeline(
+            backward_seconds=backward_seconds,
+            starts=tuple(starts),
+            ends=tuple(ends),
+            comm_seconds=float(sum(comm)),
+        )

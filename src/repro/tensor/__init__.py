@@ -14,7 +14,7 @@ Public API:
 * :mod:`repro.tensor.init` — parameter initializers.
 """
 
-from repro.tensor.autograd import Tensor, no_grad
+from repro.tensor.autograd import GradHookHandle, Tensor, no_grad
 from repro.tensor import ops
 from repro.tensor.ops import (
     matmul,
@@ -31,11 +31,12 @@ from repro.tensor.ops import (
     concat,
     stack,
 )
-from repro.tensor.optim import SGD, Adam
+from repro.tensor.optim import SGD, Adam, ShardedAdam
 from repro.tensor.init import normal_init, scaled_init, zeros_init
 
 __all__ = [
     "Tensor",
+    "GradHookHandle",
     "no_grad",
     "ops",
     "matmul",
@@ -53,6 +54,7 @@ __all__ = [
     "stack",
     "SGD",
     "Adam",
+    "ShardedAdam",
     "normal_init",
     "scaled_init",
     "zeros_init",

@@ -49,10 +49,34 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+class GradHookHandle:
+    """Removable registration of a gradient hook on one tensor."""
+
+    __slots__ = ("_tensor", "_fn")
+
+    def __init__(self, tensor: "Tensor", fn: Callable[[np.ndarray], None]):
+        self._tensor = tensor
+        self._fn = fn
+
+    def remove(self) -> None:
+        """Unregister the hook; safe to call more than once."""
+        hooks = self._tensor._grad_hooks
+        if hooks is not None and self._fn in hooks:
+            hooks.remove(self._fn)
+
+
 class Tensor:
     """A numpy-backed tensor participating in reverse-mode autodiff."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_grad_hooks",
+        "name",
+    )
     __array_priority__ = 100  # so ndarray + Tensor defers to Tensor
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
@@ -67,7 +91,25 @@ class Tensor:
         self.requires_grad = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
+        self._grad_hooks: list[Callable[[np.ndarray], None]] | None = None
         self.name = name
+
+    def register_grad_hook(self, fn: Callable[[np.ndarray], None]) -> GradHookHandle:
+        """Register ``fn(grad)`` to observe this tensor's finalized gradient.
+
+        During :meth:`backward`, once a tensor's gradient contribution is
+        fully accumulated (its position in reverse topological order), every
+        registered hook is called with that gradient array.  Hooks observe —
+        they cannot replace the gradient — so registration never changes what
+        ``backward`` computes.  For a leaf, ``.grad`` is already updated when
+        its hooks fire.  Returns a handle whose ``remove()`` unregisters.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("cannot register a grad hook on a tensor without grad")
+        if self._grad_hooks is None:
+            self._grad_hooks = []
+        self._grad_hooks.append(fn)
+        return GradHookHandle(self, fn)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -173,25 +215,31 @@ class Tensor:
                     node.grad = node_grad.copy()
                 else:
                     node.grad = node.grad + node_grad
-                continue
-            parent_grads = node._backward(node_grad)
-            if not isinstance(parent_grads, tuple):
-                parent_grads = (parent_grads,)
-            if len(parent_grads) != len(node._parents):
-                raise RuntimeError(
-                    f"backward returned {len(parent_grads)} grads for "
-                    f"{len(node._parents)} parents"
-                )
-            for parent, pgrad in zip(node._parents, parent_grads):
-                if pgrad is None or not parent.requires_grad:
-                    continue
-                if id(parent) in grads:
-                    grads[id(parent)] = grads[id(parent)] + pgrad
-                else:
-                    grads[id(parent)] = pgrad
-            # Interior nodes also expose .grad if they were marked leaf-like
-            if node.grad is not None:
-                node.grad = node.grad + node_grad
+            else:
+                parent_grads = node._backward(node_grad)
+                if not isinstance(parent_grads, tuple):
+                    parent_grads = (parent_grads,)
+                if len(parent_grads) != len(node._parents):
+                    raise RuntimeError(
+                        f"backward returned {len(parent_grads)} grads for "
+                        f"{len(node._parents)} parents"
+                    )
+                for parent, pgrad in zip(node._parents, parent_grads):
+                    if pgrad is None or not parent.requires_grad:
+                        continue
+                    if id(parent) in grads:
+                        grads[id(parent)] = grads[id(parent)] + pgrad
+                    else:
+                        grads[id(parent)] = pgrad
+                # Interior nodes also expose .grad if they were marked leaf-like
+                if node.grad is not None:
+                    node.grad = node.grad + node_grad
+            # The gradient reaching this node is final here (reverse topo
+            # order guarantees every consumer has contributed), so observe
+            # hooks fire now — this is what ZeRO's bucketed reducer keys on.
+            if node._grad_hooks:
+                for hook in tuple(node._grad_hooks):
+                    hook(node_grad)
 
     # ------------------------------------------------------------------
     # Arithmetic

@@ -113,3 +113,87 @@ class Adam(Optimizer):
     @property
     def state_bytes(self) -> int:
         return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+
+class ShardedAdam:
+    """Adam over the rank-local shards of flat ZeRO parameter partitions.
+
+    Each data-parallel rank owns one contiguous 1-D shard per gradient
+    bucket and holds exp-avg/exp-avg-sq state *only* for those shards —
+    the optimizer-state partitioning of ZeRO-1 (the quantity
+    :data:`repro.xmoe.memory_model.OPTIMIZER_BYTES` divides by the DP
+    size).  The update formula is the same elementwise arithmetic as
+    :class:`Adam`, evaluated in the same order, so updating a flat shard
+    is bit-identical to updating the corresponding region of the
+    unsharded parameters.
+
+    Unlike :class:`Adam` this operates on raw numpy shards handed in per
+    step (by :class:`repro.dist.ZeroOptimizer`), not on ``Tensor``
+    parameters, because the shards are views into flat bucket buffers
+    rather than model tensors.
+    """
+
+    def __init__(
+        self,
+        shard_numels: list[int],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.95),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= betas[0] < 1 and 0 <= betas[1] < 1):
+            raise ValueError("betas must be in [0, 1)")
+        shard_numels = [int(n) for n in shard_numels]
+        if not shard_numels or any(n < 0 for n in shard_numels):
+            raise ValueError("shard_numels must be non-empty and non-negative")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros(n) for n in shard_numels]
+        self._v = [np.zeros(n) for n in shard_numels]
+        self._step = 0
+
+    def step_shards(
+        self, param_shards: list[np.ndarray], grad_shards: list[np.ndarray]
+    ) -> None:
+        """Apply one Adam update in place to every local shard.
+
+        ``param_shards[i]`` and ``grad_shards[i]`` must be 1-D arrays of
+        the shard size declared at construction.  Parameters are updated
+        in place; gradients are not modified.
+        """
+        if len(param_shards) != len(self._m) or len(grad_shards) != len(self._m):
+            raise ValueError(
+                f"expected {len(self._m)} shards, got "
+                f"{len(param_shards)} params / {len(grad_shards)} grads"
+            )
+        self._step += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._step
+        bias2 = 1.0 - b2**self._step
+        for i, (param, grad) in enumerate(zip(param_shards, grad_shards)):
+            if param.shape != self._m[i].shape or grad.shape != self._m[i].shape:
+                raise ValueError(
+                    f"shard {i} shape mismatch: param {param.shape}, grad "
+                    f"{grad.shape}, state {self._m[i].shape}"
+                )
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            self._m[i] = b1 * self._m[i] + (1 - b1) * grad
+            self._v[i] = b2 * self._v[i] + (1 - b2) * grad * grad
+            m_hat = self._m[i] / bias1
+            v_hat = self._v[i] / bias2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    @property
+    def num_shard_elements(self) -> int:
+        """Total parameter elements owned by this rank's partition."""
+        return sum(m.size for m in self._m)
+
+    @property
+    def state_bytes(self) -> int:
+        """Bytes of optimizer state held by this rank (local shards only)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))

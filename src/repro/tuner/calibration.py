@@ -26,6 +26,12 @@ the evaluator folds into each candidate's step time:
   resolve vs a cold build.  :meth:`Calibration.plan_overhead_seconds`
   discounts the per-step plan-build cost accordingly, so the evaluator
   stops over-charging workloads that would run against a warm cache.
+* ``zero_overlap_ratio`` — measured fraction of the gradient-reduction
+  communication the bucketed ZeRO reducer hides under backward compute,
+  from the ``zero`` payload of ``zero_micro.json``
+  (``benchmarks/test_zero_micro.py``).  The evaluator uses it to discount
+  the performance model's fully-exposed ``grad_sync_time`` for candidates
+  running ZeRO stage >= 1.
 
 Records of different kinds merge: a results directory holding both the
 dispatch-plan and the step-runtime record contributes both rates.
@@ -59,6 +65,10 @@ class Calibration:
     plan_cache_hit_rate: float = 0.0
     #: measured cost of a warm cache resolve relative to a cold plan build.
     plan_cache_warm_cost_ratio: float = 1.0
+    #: measured fraction of gradient-reduction comm hidden under backward
+    #: by the bucketed ZeRO reducer (0.0 = not measured: grad sync stays
+    #: fully exposed, the analytic model's assumption).
+    zero_overlap_ratio: float = 0.0
     source: str | None = None
 
     @classmethod
@@ -74,7 +84,18 @@ class Calibration:
             and self.route_seconds_per_assignment == 0.0
             and self.time_scale == 1.0
             and self.plan_cache_hit_rate == 0.0
+            and self.zero_overlap_ratio == 0.0
         )
+
+    def grad_sync_exposed_fraction(self) -> float:
+        """Fraction of modeled gradient-sync time left exposed per step.
+
+        1.0 when no ZeRO micro-benchmark record was measured (the analytic
+        model's fully-serial assumption); otherwise the complement of the
+        measured overlap ratio, clamped to [0, 1].
+        """
+        ratio = min(max(self.zero_overlap_ratio, 0.0), 1.0)
+        return 1.0 - ratio
 
     def route_overhead_seconds(self, assignments: float) -> float:
         """CPU-side routing (route + PFT) seconds for one step's assignments.
@@ -124,13 +145,44 @@ def _plan_cache_fields(record: dict) -> tuple[float, float] | None:
     return float(hit_rate), float(ratio)
 
 
-def _record_fields(path: Path) -> tuple[dict, float, float, tuple | None] | None:
+def _zero_fields(record: dict, path: Path) -> float | None:
+    """Extract the measured ZeRO overlap ratio from a record, if present.
+
+    A record without a ``zero`` key is simply not a ZeRO record (returns
+    ``None`` silently); a record *with* one that is malformed — wrong type,
+    missing ``overlap_ratio``, value outside [0, 1] — is skipped with a
+    warning so an interrupted benchmark dump never corrupts calibration.
+    """
+    payload = record.get("zero")
+    if payload is None:
+        return None
+    if not isinstance(payload, dict):
+        warnings.warn(
+            f"skipping malformed zero payload in {path}: not a JSON object",
+            stacklevel=2,
+        )
+        return None
+    ratio = payload.get("overlap_ratio")
+    if not isinstance(ratio, (int, float)) or not 0.0 <= ratio <= 1.0:
+        warnings.warn(
+            f"skipping malformed zero payload in {path}: "
+            f"overlap_ratio {ratio!r} not in [0, 1]",
+            stacklevel=2,
+        )
+        return None
+    return float(ratio)
+
+
+def _record_fields(
+    path: Path,
+) -> tuple[dict, float, float, tuple | None, float | None] | None:
     """Parse one JSON record into (plan rates, route rate, scale, cache).
 
     Understands the record shapes of the ``benchmarks/results/`` family:
     ``dispatch_plan_micro.json`` (per-kind plan-build seconds),
-    ``step_runtime_micro.json`` (batched route + PFT seconds), and
-    ``plan_cache_micro.json`` (steady-state hit rate + warm cost ratio).
+    ``step_runtime_micro.json`` (batched route + PFT seconds),
+    ``plan_cache_micro.json`` (steady-state hit rate + warm cost ratio),
+    and ``zero_micro.json`` (measured grad-reduction overlap ratio).
     Returns ``None`` when the file holds none of those; a malformed or
     partially-written file (interrupted benchmark dump, truncated JSON,
     non-object payload) is skipped with a warning instead of raising, so
@@ -159,9 +211,10 @@ def _record_fields(path: Path) -> tuple[dict, float, float, tuple | None] | None
         )
         return None
     plan_cache = _plan_cache_fields(record)
+    zero_ratio = _zero_fields(record, path)
     assignments = workload.get("assignments")
     if not isinstance(assignments, (int, float)) or assignments <= 0:
-        if plan_cache is None:
+        if plan_cache is None and zero_ratio is None:
             return None
         assignments = 0.0
     per_assignment: dict[str, float] = {}
@@ -174,12 +227,12 @@ def _record_fields(path: Path) -> tuple[dict, float, float, tuple | None] | None
         route_value = seconds.get("batched_route_pft")
         if isinstance(route_value, (int, float)) and route_value > 0:
             route_rate = float(route_value) / float(assignments)
-    if not per_assignment and not route_rate and plan_cache is None:
+    if not per_assignment and not route_rate and plan_cache is None and zero_ratio is None:
         return None
     scale = record.get("model_time_scale", 1.0)
     if not isinstance(scale, (int, float)) or scale <= 0:
         scale = 1.0
-    return per_assignment, route_rate, float(scale), plan_cache
+    return per_assignment, route_rate, float(scale), plan_cache, zero_ratio
 
 
 def load_calibration(path: str | Path | None = None) -> Calibration:
@@ -205,12 +258,13 @@ def load_calibration(path: str | Path | None = None) -> Calibration:
     route_rate = 0.0
     time_scale = 1.0
     cache_fields: tuple | None = None
+    zero_ratio: float | None = None
     sources: list[str] = []
     for record_path in paths:
         fields = _record_fields(record_path)
         if fields is None:
             continue
-        per_assignment, record_route, scale, record_cache = fields
+        per_assignment, record_route, scale, record_cache, record_zero = fields
         used = False
         if per_assignment and not plan_rates:
             plan_rates = per_assignment
@@ -221,13 +275,16 @@ def load_calibration(path: str | Path | None = None) -> Calibration:
         if record_cache is not None and cache_fields is None:
             cache_fields = record_cache
             used = True
+        if record_zero is not None and zero_ratio is None:
+            zero_ratio = record_zero
+            used = True
         if used:
             # Any used record may carry model_time_scale; the first
             # *non-default* value wins (records without the key read 1.0).
             if time_scale == 1.0 and scale != 1.0:
                 time_scale = scale
             sources.append(str(record_path))
-    if not plan_rates and not route_rate and cache_fields is None:
+    if not plan_rates and not route_rate and cache_fields is None and zero_ratio is None:
         return Calibration.identity()
     hit_rate, warm_ratio = cache_fields if cache_fields is not None else (0.0, 1.0)
     return Calibration(
@@ -236,5 +293,6 @@ def load_calibration(path: str | Path | None = None) -> Calibration:
         time_scale=time_scale,
         plan_cache_hit_rate=hit_rate,
         plan_cache_warm_cost_ratio=warm_ratio,
+        zero_overlap_ratio=zero_ratio if zero_ratio is not None else 0.0,
         source="; ".join(sources),
     )

@@ -11,7 +11,8 @@ into a :class:`CandidateScore` in two stages:
    the step time (flat / RBD / hierarchical dispatch included, via
    ``dispatch_comm_estimates``), and the evaluator layers the optional
    :class:`~repro.tuner.calibration.Calibration` on top (measured
-   plan-build overhead + global time scale).
+   plan-build overhead, measured ZeRO grad-sync overlap discount for
+   stage >= 1 candidates, global time scale).
 
 Both stages memoize on *cost signatures*: the subset of candidate fields
 the analytic models actually read.  Router policy and placement order are
@@ -226,7 +227,14 @@ class MemoizingEvaluator:
             self.calibration.plan_overhead_seconds(parallel.dispatch_kind, assignments)
             + self.calibration.route_overhead_seconds(assignments)
         )
-        step_seconds = perf.iteration_time() * self.calibration.time_scale + overhead
+        step_seconds = perf.iteration_time()
+        exposed = self.calibration.grad_sync_exposed_fraction()
+        if exposed < 1.0 and int(parallel.zero_stage) >= 1:
+            # The bucketed ZeRO reducer overlaps gradient reduction with
+            # backward compute; keep only the measured exposed fraction of
+            # the analytic model's fully-serial grad-sync term.
+            step_seconds -= perf.grad_sync_time() * (1.0 - exposed)
+        step_seconds = step_seconds * self.calibration.time_scale + overhead
 
         # Dispatch + combine cross the node boundary once each per MoE layer
         # per micro-batch; scale one EP group's traffic to the whole job.

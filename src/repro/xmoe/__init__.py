@@ -45,14 +45,17 @@ from repro.xmoe.memory_model import (
     ActivationBreakdown,
     MemoryReport,
     MoEMemoryModel,
+    zero_divisors,
 )
 from repro.xmoe.perf_model import MoEPerformanceModel, LayerTimeBreakdown, SystemKind
 from repro.xmoe.trainer import (
     SimulatedTrainer,
     TrainRunResult,
+    ZeroValidationResult,
     dispatcher_for_config,
     policy_for_config,
     run_routing_validation,
+    run_zero_training_validation,
     sweep_best_config,
     sweep_dispatch_validation,
 )
@@ -81,14 +84,17 @@ __all__ = [
     "ActivationBreakdown",
     "MemoryReport",
     "MoEMemoryModel",
+    "zero_divisors",
     "MoEPerformanceModel",
     "LayerTimeBreakdown",
     "SystemKind",
     "SimulatedTrainer",
     "TrainRunResult",
+    "ZeroValidationResult",
     "dispatcher_for_config",
     "policy_for_config",
     "run_routing_validation",
+    "run_zero_training_validation",
     "sweep_best_config",
     "sweep_dispatch_validation",
 ]

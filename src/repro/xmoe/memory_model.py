@@ -47,6 +47,23 @@ GRAD_BYTES = 2
 OPTIMIZER_BYTES = 12
 
 
+def zero_divisors(stage: ZeroStage, dp_size: int) -> tuple[float, float, float]:
+    """(param, grad, optimizer) sharding divisors for a ZeRO stage.
+
+    ZeRO-1 partitions optimizer state, ZeRO-2 additionally partitions
+    gradients, ZeRO-3 additionally partitions parameters — each over the
+    ``dp_size``-way data-parallel group that replicates the tensor.  This
+    is the single source of truth shared by the analytic
+    :class:`MoEMemoryModel` and the executable
+    :class:`repro.dist.ZeroOptimizer`, so the tests can assert measured
+    ``SimDevice`` peaks against the same arithmetic the tuner prunes with.
+    """
+    param_div = dp_size if stage >= ZeroStage.PARAMS else 1.0
+    grad_div = dp_size if stage >= ZeroStage.GRADIENTS else 1.0
+    opt_div = dp_size if stage >= ZeroStage.OPTIMIZER else 1.0
+    return param_div, grad_div, opt_div
+
+
 @dataclass
 class ActivationBreakdown:
     """Per-MoE-layer, per-device activation components (bytes)."""
@@ -96,6 +113,9 @@ class MemoryReport:
     activation_per_moe_layer: ActivationBreakdown
     dense_activation_bytes: float
     capacity_bytes: float
+    #: param/grad/optimizer split of ``model_states_bytes`` (the terms the
+    #: ZeRO stages shard; see :meth:`MoEMemoryModel.model_state_components`).
+    model_state_components: dict | None = None
 
     @property
     def total_bytes(self) -> float:
@@ -143,14 +163,20 @@ class MoEMemoryModel:
     # ------------------------------------------------------------------
     def _zero_optimizer_divisor(self, dp_size: int) -> tuple[float, float, float]:
         """(param, grad, optimizer) sharding divisors for the ZeRO stage."""
-        stage = self.parallel.zero_stage
-        param_div = dp_size if stage >= ZeroStage.PARAMS else 1.0
-        grad_div = dp_size if stage >= ZeroStage.GRADIENTS else 1.0
-        opt_div = dp_size if stage >= ZeroStage.OPTIMIZER else 1.0
-        return param_div, grad_div, opt_div
+        return zero_divisors(self.parallel.zero_stage, dp_size)
 
-    def model_states_per_device(self, system: SystemKind = SystemKind.XMOE) -> float:
-        """Bytes of parameters + gradients + optimizer states per device."""
+    def model_state_components(
+        self, system: SystemKind = SystemKind.XMOE
+    ) -> dict[str, float]:
+        """Per-device model-state bytes split into param/grad/optimizer terms.
+
+        The split is what the ZeRO stages act on: ``optimizer`` shrinks at
+        stage >= 1, ``grad`` at stage >= 2, ``param`` at stage >= 3 — each by
+        the data-parallel degree that replicates the tensor (expert-DP for
+        expert parameters, full DP for dense parameters).  The functional
+        ZeRO tests assert measured :class:`~repro.cluster.device.SimDevice`
+        peaks scale by exactly these divisors.
+        """
         model, parallel = self.model, self.parallel
         tp = parallel.tp_size
 
@@ -161,10 +187,7 @@ class MoEMemoryModel:
         if system is SystemKind.DEEPSPEED_TED:
             expert_params_per_device /= tp
         expert_dp = max(1, parallel.world_size // parallel.ep_size)
-        p_div, g_div, o_div = self._zero_optimizer_divisor(expert_dp)
-        expert_bytes = expert_params_per_device * (
-            PARAM_BYTES / p_div + GRAD_BYTES / g_div + OPTIMIZER_BYTES / o_div
-        )
+        ep_div, eg_div, eo_div = self._zero_optimizer_divisor(expert_dp)
 
         # Dense (non-expert) parameters: sliced by TP, replicated over DP.
         dense_params = (
@@ -174,11 +197,20 @@ class MoEMemoryModel:
             + model.embedding_params()
         )
         dense_params_per_device = dense_params / tp
-        p_div, g_div, o_div = self._zero_optimizer_divisor(parallel.dp_size)
-        dense_bytes = dense_params_per_device * (
-            PARAM_BYTES / p_div + GRAD_BYTES / g_div + OPTIMIZER_BYTES / o_div
-        )
-        return expert_bytes + dense_bytes
+        dp_div, dg_div, do_div = self._zero_optimizer_divisor(parallel.dp_size)
+
+        return {
+            "param": expert_params_per_device * PARAM_BYTES / ep_div
+            + dense_params_per_device * PARAM_BYTES / dp_div,
+            "grad": expert_params_per_device * GRAD_BYTES / eg_div
+            + dense_params_per_device * GRAD_BYTES / dg_div,
+            "optimizer": expert_params_per_device * OPTIMIZER_BYTES / eo_div
+            + dense_params_per_device * OPTIMIZER_BYTES / do_div,
+        }
+
+    def model_states_per_device(self, system: SystemKind = SystemKind.XMOE) -> float:
+        """Bytes of parameters + gradients + optimizer states per device."""
+        return sum(self.model_state_components(system).values())
 
     # ------------------------------------------------------------------
     # Activations
@@ -301,12 +333,14 @@ class MoEMemoryModel:
     # ------------------------------------------------------------------
     def report(self, system: SystemKind = SystemKind.XMOE) -> MemoryReport:
         """Full per-device memory report with trainability verdict."""
+        components = self.model_state_components(system)
         return MemoryReport(
-            model_states_bytes=self.model_states_per_device(system),
+            model_states_bytes=sum(components.values()),
             activation_bytes=self.activation_bytes_per_device(system),
             activation_per_moe_layer=self.moe_layer_activations(system),
             dense_activation_bytes=self.dense_layer_activation_bytes(),
             capacity_bytes=float(self.gpu.memory_bytes),
+            model_state_components=components,
         )
 
     def fits(self, system: SystemKind = SystemKind.XMOE) -> bool:

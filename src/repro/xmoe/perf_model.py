@@ -438,9 +438,19 @@ class MoEPerformanceModel:
 
         steps = parallel.gradient_accumulation_steps
         compute_time = steps * per_micro
+        return compute_time + self.grad_sync_time()
 
-        # Gradient synchronization once per step: expert grads over the
-        # expert-DP group, dense grads over the DP group.
+    def grad_sync_time(self) -> float:
+        """Un-overlapped gradient-synchronization seconds per step.
+
+        Expert gradients all-reduce over the expert-DP group and dense
+        gradients over the DP group, priced fully exposed — the evaluator
+        discounts the fraction the bucketed ZeRO reducer measurably hides
+        under backward (``benchmarks/test_zero_micro.py``) when a
+        calibration record is available.
+        """
+        parallel = self.parallel
+        model = self.model
         expert_grad_bytes = (
             model.num_moe_layers * model.moe_layer_expert_params() / parallel.ep_size
         ) * model.dtype_bytes
@@ -458,8 +468,7 @@ class MoEPerformanceModel:
         )
         # Collectives spanning more than one rack see congestion outliers
         # (Appendix D); the gradient all-reduce spans the full DP group.
-        grad_sync *= self.network.congestion_factor(parallel.dp_size)
-        return compute_time + grad_sync
+        return grad_sync * self.network.congestion_factor(parallel.dp_size)
 
     def tokens_per_step(self) -> int:
         """Tokens processed per optimizer step across the whole job."""

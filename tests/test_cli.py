@@ -61,6 +61,20 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "dgx" in out
 
+    def test_train_command(self, capsys):
+        assert main(["train", "--zero-stage", "2", "--dp", "2", "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ZeRO-2 training" in out
+        assert "loss:" in out
+        assert "device peak" in out
+        assert "reduce_scatter" in out and "allgather" in out
+
+    def test_train_command_stage0_uses_allreduce(self, capsys):
+        assert main(["train", "--zero-stage", "0", "--dp", "2", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "allreduce" in out
+        assert "reduce_scatter" not in out
+
     def test_obs_command(self, capsys):
         assert main(["obs", "--steps", "2", "--ranks", "4", "--tokens", "16"]) == 0
         out = capsys.readouterr().out

@@ -115,6 +115,70 @@ class TestOtherCollectives:
             np.testing.assert_allclose(out, payload)
 
 
+class TestByteAccounting:
+    """reduce_scatter / allgather byte accounting (mirrors alltoallv's).
+
+    Each collective's recorded event must satisfy two invariants: the
+    aggregate ``total_bytes`` matches the analytic traffic matrix (every
+    off-diagonal pair carries an equal share), and ``bytes_by_tier``
+    carries exactly the ring algorithm's per-rank wire volume on the worst
+    tier — the quantities ``obs`` counters and the ZeRO bucket spans
+    publish.
+    """
+
+    def test_reduce_scatter_bytes(self, world, group):
+        size = group.size
+        buffers = [np.ones((size * 4, 2)) for _ in range(size)]
+        group.reduce_scatter(buffers)
+        event = world.stats.events[-1]
+        assert event.op == "reduce_scatter"
+        # Each of the size*(size-1) ordered pairs moves nbytes/size.
+        nbytes = buffers[0].nbytes
+        assert event.total_bytes == pytest.approx(nbytes * (size - 1))
+        # Ring reduce-scatter: P-1 pipelined nbytes/P chunks per rank.
+        ring_volume = nbytes * (size - 1) / size
+        assert event.bytes_by_tier == {
+            event.bottleneck_tier: pytest.approx(ring_volume)
+        }
+
+    def test_allgather_bytes(self, world, group):
+        size = group.size
+        buffers = [np.ones((3, 5)) for _ in range(size)]
+        group.allgather(buffers)
+        event = world.stats.events[-1]
+        assert event.op == "allgather"
+        # Every rank sends its full shard to each of the size-1 peers.
+        nbytes = buffers[0].nbytes
+        assert event.total_bytes == pytest.approx(nbytes * size * (size - 1))
+        # Ring all-gather: every rank receives P-1 whole shards.
+        assert event.bytes_by_tier == {
+            event.bottleneck_tier: pytest.approx(nbytes * (size - 1))
+        }
+
+    def test_reduce_scatter_crosses_tiers_on_two_nodes(self):
+        world = CommWorld(num_ranks=16)  # 2 nodes of 8
+        group = world.world_group()
+        buffers = [np.ones((16, 4)) for _ in range(16)]
+        group.reduce_scatter(buffers)
+        event = world.stats.events[-1]
+        # The slowest link gates the ring, so the wire volume is charged
+        # to the inter-node tier.
+        assert event.bottleneck_tier == LinkTier.INTER_NODE
+        nbytes = buffers[0].nbytes
+        assert event.bytes_by_tier[LinkTier.INTER_NODE] == pytest.approx(
+            nbytes * 15 / 16
+        )
+
+    def test_reduce_scatter_priced_below_allreduce(self, world, group):
+        """The estimate uses the dedicated reduce-scatter (half-allreduce) cost."""
+        buffers = [np.ones((group.size * 8, 4)) for _ in range(group.size)]
+        group.reduce_scatter(buffers)
+        rs_seconds = world.stats.events[-1].seconds
+        group.allreduce(buffers)
+        ar_seconds = world.stats.events[-1].seconds
+        assert rs_seconds < ar_seconds
+
+
 class TestGroups:
     def test_node_local_subgroups(self):
         world = CommWorld(num_ranks=16)  # 2 nodes

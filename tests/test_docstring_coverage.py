@@ -18,7 +18,7 @@ SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
 
 #: packages whose public surface must be fully docstringed (keep in sync
 #: with the D1 per-file-ignores pattern in pyproject.toml).
-ENFORCED_PACKAGES = ("routing", "comm", "tuner", "xmoe", "runtime", "obs", "serving")
+ENFORCED_PACKAGES = ("routing", "comm", "dist", "tuner", "xmoe", "runtime", "obs", "serving")
 
 
 def _is_public(name: str) -> bool:

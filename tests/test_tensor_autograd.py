@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.tensor import Tensor, no_grad
 
@@ -125,3 +126,121 @@ class TestEngineBehaviour:
         (x * 2).sum().backward()
         x.zero_grad()
         assert x.grad is None
+
+
+class TestGradHooks:
+    """Observe-only backward hooks (the mechanism ZeRO's reducer keys on)."""
+
+    def test_hook_fires_with_final_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        seen = []
+        x.register_grad_hook(lambda g: seen.append(g.copy()))
+        y = x * 2.0
+        (y + y).sum().backward()  # x consumed twice: hook must see the sum
+        assert len(seen) == 1
+        np.testing.assert_allclose(seen[0], 4.0)
+        np.testing.assert_allclose(seen[0], x.grad)
+
+    def test_remove_unregisters(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        seen = []
+        handle = x.register_grad_hook(lambda g: seen.append(g))
+        handle.remove()
+        handle.remove()  # idempotent
+        (x * 3.0).sum().backward()
+        assert seen == []
+
+    def test_requires_grad_required(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(2)).register_grad_hook(lambda g: None)
+
+
+def _build_random_graph(seed: int, plan: list[tuple[int, int, int]]):
+    """A reproducible random DAG of elementwise ops over three leaves.
+
+    ``plan`` entries ``(op, i, j)`` combine two existing nodes (by index,
+    modulo the current node count), so shared subexpressions and diamond
+    shapes arise naturally.  Returns (leaves, all nodes, scalar loss).
+    """
+    arrays = np.random.default_rng(seed).normal(size=(3, 2, 2))
+    leaves = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    nodes = list(leaves)
+    for op, i, j in plan:
+        a = nodes[i % len(nodes)]
+        b = nodes[j % len(nodes)]
+        if op % 3 == 0:
+            nodes.append(a + b)
+        elif op % 3 == 1:
+            nodes.append(a * b)
+        else:
+            nodes.append(a - b)
+    loss = nodes[-1].sum()
+    nodes.append(loss)
+    return leaves, nodes, loss
+
+
+class TestGradHookProperties:
+    """Hypothesis: hook order is reverse-topological; grads are untouched."""
+
+    plans = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=0, max_value=30),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1), plans)
+    def test_hooks_fire_in_reverse_topological_order(self, seed, plan):
+        _, nodes, loss = _build_random_graph(seed, plan)
+        order: list[int] = []
+        for node in nodes:
+            node.register_grad_hook(
+                lambda _grad, ident=id(node): order.append(ident)
+            )
+        loss.backward()
+        position = {ident: k for k, ident in enumerate(order)}
+        # Only nodes the loss depends on participate in backward, and ops
+        # like ``-`` desugar through intermediates that carry no hook.
+        reachable: dict[int, Tensor] = {}
+        stack = [loss]
+        while stack:
+            node = stack.pop()
+            if id(node) in reachable:
+                continue
+            reachable[id(node)] = node
+            stack.extend(node._parents)
+        hooked = {id(node) for node in nodes}
+        # Every hooked, reachable node fired exactly once...
+        assert len(order) == len(set(order))
+        assert set(position) == hooked & set(reachable)
+        # ...and every node fired before all of its hooked ancestors (its
+        # inputs, transitively): a node's gradient is only final once all
+        # its consumers have contributed.
+        for node in reachable.values():
+            if id(node) not in position:
+                continue
+            ancestors, stack = set(), list(node._parents)
+            while stack:
+                parent = stack.pop()
+                if id(parent) in ancestors:
+                    continue
+                ancestors.add(id(parent))
+                stack.extend(parent._parents)
+            for ident in ancestors & set(position):
+                assert position[id(node)] < position[ident]
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1), plans)
+    def test_hook_registration_leaves_gradients_untouched(self, seed, plan):
+        bare_leaves, _, bare_loss = _build_random_graph(seed, plan)
+        bare_loss.backward()
+        hooked_leaves, hooked_nodes, hooked_loss = _build_random_graph(seed, plan)
+        for node in hooked_nodes:
+            node.register_grad_hook(lambda g: None)
+        hooked_loss.backward()
+        for bare, hooked in zip(bare_leaves, hooked_leaves):
+            assert np.array_equal(bare.grad, hooked.grad)  # bitwise

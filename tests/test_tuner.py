@@ -160,6 +160,29 @@ class TestMemoizingEvaluator:
         assert calibration.plan_overhead_seconds("hier", 100) == pytest.approx(1e-4)
         assert calibration.plan_overhead_seconds("flat", 100) == 0.0
 
+    def test_zero_overlap_discounts_grad_sync(self):
+        """Measured ZeRO overlap shaves grad-sync time off stage>=1 plans."""
+        from repro.xmoe.perf_model import MoEPerformanceModel
+
+        calibration = Calibration(zero_overlap_ratio=0.6)
+        assert calibration.grad_sync_exposed_fraction() == pytest.approx(0.4)
+        plain = MemoizingEvaluator(SMALL, SYS16)
+        calibrated = MemoizingEvaluator(SMALL, SYS16, calibration=calibration)
+        sharded = self._candidate(zero_stage=2)
+        base = plain.evaluate(sharded)
+        scored = calibrated.evaluate(sharded)
+        perf = MoEPerformanceModel(
+            sharded.model_for(SMALL), sharded.parallel, SYS16, SystemKind.XMOE
+        )
+        assert scored.step_seconds == pytest.approx(
+            base.step_seconds - 0.6 * perf.grad_sync_time()
+        )
+        # Stage-0 candidates run unsharded grad sync: no discount applies.
+        unsharded = self._candidate(zero_stage=0)
+        assert calibrated.evaluate(unsharded).step_seconds == pytest.approx(
+            plain.evaluate(unsharded).step_seconds
+        )
+
 
 class TestCalibrationLoading:
     def test_missing_path_yields_identity(self, tmp_path):
@@ -190,6 +213,32 @@ class TestCalibrationLoading:
         (tmp_path / "zz_micro.json").write_text(json.dumps(record))
         calibration = load_calibration(tmp_path)
         assert not calibration.is_identity
+
+    def test_zero_record_parsed(self, tmp_path):
+        record = {
+            "seconds": {},
+            "workload": {},
+            "zero": {"overlap_ratio": 0.55, "dp": 16},
+        }
+        path = tmp_path / "zero_micro.json"
+        path.write_text(json.dumps(record))
+        calibration = load_calibration(path)
+        assert not calibration.is_identity
+        assert calibration.zero_overlap_ratio == pytest.approx(0.55)
+        assert calibration.grad_sync_exposed_fraction() == pytest.approx(0.45)
+
+    def test_malformed_zero_record_warns_and_skips(self, tmp_path):
+        bad = {"seconds": {}, "workload": {}, "zero": {"overlap_ratio": 7.0}}
+        (tmp_path / "zero_micro.json").write_text(json.dumps(bad))
+        with pytest.warns(UserWarning, match="zero payload"):
+            calibration = load_calibration(tmp_path)
+        assert calibration.is_identity
+
+        (tmp_path / "zero_micro.json").write_text(
+            json.dumps({"seconds": {}, "workload": {}, "zero": "oops"})
+        )
+        with pytest.warns(UserWarning, match="zero payload"):
+            assert load_calibration(tmp_path).is_identity
 
 
 class TestTuneAndReport:
